@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot kernels:
+ * mask generation (Alg. 1 and baselines), format encoding, the codec
+ * conversion queue, the inter-block scheduler, and the pipeline
+ * simulator itself. These guard the simulator's own performance —
+ * LLM-scale sweeps depend on them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "format/codec.hpp"
+#include "format/encoding.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "workload/profile_builder.hpp"
+#include "workload/synth.hpp"
+
+namespace {
+
+using namespace tbstc;
+
+core::Matrix
+benchScores(size_t dim)
+{
+    const auto w = workload::synthWeights(
+        {"kernel-bench", dim, dim, 1}, 1);
+    return core::magnitudeScores(w);
+}
+
+void
+BM_UsMask(benchmark::State &state)
+{
+    const auto scores = benchScores(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::usMask(scores, 0.75));
+    state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_UsMask)->Arg(256)->Arg(512);
+
+void
+BM_TbsMask(benchmark::State &state)
+{
+    const auto scores = benchScores(state.range(0));
+    const auto cand = core::defaultCandidates(8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::tbsMask(scores, 0.75, 8, cand));
+    state.SetItemsProcessed(state.iterations() * scores.size());
+}
+BENCHMARK(BM_TbsMask)->Arg(256)->Arg(512);
+
+void
+BM_RsvMask(benchmark::State &state)
+{
+    const auto scores = benchScores(state.range(0));
+    const auto cand = core::defaultCandidates(8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::rsvMask(scores, 0.75, 8, cand));
+}
+BENCHMARK(BM_RsvMask)->Arg(256);
+
+void
+BM_DdcEncode(benchmark::State &state)
+{
+    const auto w = workload::synthWeights(
+        {"kernel-bench", 512, 512, 1}, 1);
+    const auto scores = core::magnitudeScores(w);
+    const auto res =
+        core::tbsMask(scores, 0.75, 8, core::defaultCandidates(8));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            format::encodeDdc(w, res.mask, res.meta));
+}
+BENCHMARK(BM_DdcEncode);
+
+void
+BM_CodecConvert(benchmark::State &state)
+{
+    util::Rng rng(3);
+    std::vector<format::StorageElem> storage;
+    for (uint8_t col = 0; col < 8; ++col) {
+        const auto rows = rng.permutation(8);
+        for (uint8_t k = 0; k < 4; ++k)
+            storage.push_back(
+                {1.0f, static_cast<uint8_t>(rows[k]), col});
+    }
+    const format::CodecConfig cfg{8, 2, 2};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            format::convertToComputation(storage, cfg));
+    state.SetItemsProcessed(state.iterations() * storage.size());
+}
+BENCHMARK(BM_CodecConvert);
+
+void
+BM_Scheduler(benchmark::State &state)
+{
+    util::Rng rng(5);
+    std::vector<uint64_t> costs(static_cast<size_t>(state.range(0)));
+    for (auto &c : costs)
+        c = rng.below(9);
+    const auto policy = state.range(1) == 0 ? sim::InterSched::Naive
+                                            : sim::InterSched::Aware;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sim::scheduleBlocks(costs, 128, policy, 8));
+    state.SetItemsProcessed(state.iterations() * costs.size());
+}
+BENCHMARK(BM_Scheduler)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 1});
+
+void
+BM_SimulateLayer(benchmark::State &state)
+{
+    workload::ProfileSpec spec;
+    spec.shape = {"sim-bench", 1024, 1024, 128};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = 0.75;
+    spec.fmt = format::StorageFormat::DDC;
+    const auto profile = workload::buildLayerProfile(spec);
+    const sim::ArchConfig cfg;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::simulateLayer(profile, cfg));
+}
+BENCHMARK(BM_SimulateLayer);
+
+void
+BM_BuildLayerProfile(benchmark::State &state)
+{
+    workload::ProfileSpec spec;
+    spec.shape = {"profile-bench", 1024, 1024, 128};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = 0.75;
+    spec.fmt = format::StorageFormat::DDC;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workload::buildLayerProfile(spec));
+}
+BENCHMARK(BM_BuildLayerProfile);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one table or figure of the paper:
+ * it runs the real pipeline (masks -> encodings -> simulator or the
+ * nn trainer), prints the measured rows next to the paper's reported
+ * values, and exits. Results are deterministic.
+ */
+
+#ifndef TBSTC_BENCH_BENCH_UTIL_HPP
+#define TBSTC_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "util/table.hpp"
+
+namespace tbstc::bench {
+
+/** The baseline set of paper Sec. VII-A2 (without the ablation FAN). */
+inline std::vector<accel::AccelKind>
+paperBaselines()
+{
+    using accel::AccelKind;
+    return {AccelKind::TC,       AccelKind::STC,   AccelKind::Vegeta,
+            AccelKind::HighLight, AccelKind::RmStc, AccelKind::TbStc};
+}
+
+/** Sparse baselines compared in the layer-wise study (Fig. 12). */
+inline std::vector<accel::AccelKind>
+sparseBaselines()
+{
+    using accel::AccelKind;
+    return {AccelKind::STC, AccelKind::Vegeta, AccelKind::HighLight,
+            AccelKind::RmStc, AccelKind::TbStc};
+}
+
+/** "1.23x"-style ratio formatting. */
+inline std::string
+fmtRatio(double v, int precision = 2)
+{
+    return util::fmtDouble(v, precision) + "x";
+}
+
+/** Percentage formatting. */
+inline std::string
+fmtPct(double v, int precision = 1)
+{
+    return util::fmtDouble(v * 100.0, precision) + "%";
+}
+
+} // namespace tbstc::bench
+
+#endif // TBSTC_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Regenerates paper Fig. 12: layer-wise speedup and normalized EDP
+ * across sparsity degrees on typical ResNet-50 and BERT layers, for
+ * STC / VEGETA / HighLight / RM-STC / TB-STC (all normalized to the
+ * dense tensor core).
+ *
+ * Paper reference: TB-STC averages 1.55x / 1.29x / 1.21x / 1.06x
+ * speedup over STC / VEGETA / HighLight / RM-STC, and 1.41x EDP over
+ * HighLight, 1.75x over RM-STC.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+#include "workload/models.hpp"
+
+using namespace tbstc;
+using accel::AccelKind;
+using bench::fmtRatio;
+
+int
+main()
+{
+    const std::vector<double> sparsities{0.5, 0.625, 0.75, 0.875};
+    const auto kinds = bench::sparseBaselines();
+
+    std::vector<workload::GemmShape> layers;
+    for (auto model : {workload::ModelId::ResNet50,
+                       workload::ModelId::BertBase}) {
+        for (const auto &shape : workload::representativeLayers(model))
+            layers.push_back(shape);
+    }
+
+    util::banner("Fig. 12: layer-wise speedup and normalized EDP "
+                 "(vs dense TC)");
+    std::map<AccelKind, std::vector<double>> speedups;
+    std::map<AccelKind, std::vector<double>> edps;
+
+    for (double sp : sparsities) {
+        util::Table t({"layer", "sparsity", "STC", "VEGETA", "HighLight",
+                       "RM-STC", "TB-STC", "metric"});
+        for (const auto &shape : layers) {
+            accel::RunRequest req;
+            req.shape = shape;
+            req.sparsity = sp;
+            const auto dense = accel::runLayer(AccelKind::TC, req);
+
+            std::vector<std::string> row_speed{
+                shape.name, util::fmtDouble(sp, 3)};
+            std::vector<std::string> row_edp{shape.name,
+                                             util::fmtDouble(sp, 3)};
+            for (AccelKind kind : kinds) {
+                const auto stats = accel::runLayer(kind, req);
+                const double speedup = dense.cycles / stats.cycles;
+                const double edp = stats.edp / dense.edp;
+                speedups[kind].push_back(speedup);
+                edps[kind].push_back(edp);
+                row_speed.push_back(fmtRatio(speedup));
+                row_edp.push_back(util::fmtDouble(edp, 3));
+            }
+            row_speed.push_back("speedup");
+            row_edp.push_back("norm.EDP");
+            t.addRow(row_speed);
+            t.addRow(row_edp);
+        }
+        t.print();
+    }
+
+    util::banner("Fig. 12 summary: TB-STC vs each baseline "
+                 "(geomean over layers x sparsities)");
+    util::Table s({"baseline", "TB-STC speedup", "TB-STC EDP gain",
+                   "paper speedup"});
+    const auto &tb_speed = speedups[AccelKind::TbStc];
+    const auto &tb_edp = edps[AccelKind::TbStc];
+    const std::map<AccelKind, std::string> paper{
+        {AccelKind::STC, "1.55x"},
+        {AccelKind::Vegeta, "1.29x"},
+        {AccelKind::HighLight, "1.21x"},
+        {AccelKind::RmStc, "1.06x"},
+    };
+    for (AccelKind kind : kinds) {
+        if (kind == AccelKind::TbStc)
+            continue;
+        std::vector<double> speed_ratio;
+        std::vector<double> edp_ratio;
+        for (size_t i = 0; i < tb_speed.size(); ++i) {
+            speed_ratio.push_back(tb_speed[i] / speedups[kind][i]);
+            edp_ratio.push_back(edps[kind][i] / tb_edp[i]);
+        }
+        s.addRow({accel::accelName(kind),
+                  fmtRatio(util::geomean(speed_ratio)),
+                  fmtRatio(util::geomean(edp_ratio)),
+                  paper.at(kind)});
+    }
+    s.print();
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates paper Fig. 13: end-to-end inference speedup and
+ * normalized EDP on ResNet-50, BERT, and OPT-6.7B at iso-accuracy:
+ * each pattern runs at the highest sparsity that still matches the
+ * target accuracy (US at 50% / 75%), except STC, which is hard-wired
+ * to 4:8.
+ *
+ * Paper reference: TB-STC improves speedup by 1.22x / 1.06x and EDP
+ * by 1.62x / 1.92x over HighLight / RM-STC end to end.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+#include "workload/accuracy_model.hpp"
+
+using namespace tbstc;
+using accel::AccelKind;
+using bench::fmtRatio;
+using workload::ModelId;
+
+int
+main()
+{
+    struct Workload
+    {
+        ModelId model;
+        uint64_t seq;
+        double target_sparsity; ///< Sparsity the US baseline runs at.
+    };
+    const std::vector<Workload> workloads{
+        {ModelId::ResNet50, 0, 0.75},
+        {ModelId::BertBase, 128, 0.50},
+        {ModelId::Opt67b, 256, 0.50},
+    };
+    const auto kinds = bench::paperBaselines();
+
+    std::map<AccelKind, std::vector<double>> speedups;
+    std::map<AccelKind, std::vector<double>> edps;
+
+    util::banner("Fig. 13: end-to-end speedup / normalized EDP at "
+                 "iso-accuracy (vs dense TC)");
+    for (const auto &w : workloads) {
+        // The accuracy every pattern must match: US at the target
+        // sparsity (see DESIGN.md for the calibrated proxy).
+        const double target_acc = workload::proxyAccuracy(
+            w.model, core::Pattern::US, w.target_sparsity);
+
+        util::Table t({"accel", "sparsity", "accuracy", "speedup",
+                       "norm.EDP"});
+        const auto dense =
+            accel::runModel(AccelKind::TC, w.model, 0.0, w.seq);
+        for (AccelKind kind : kinds) {
+            const core::Pattern pattern = accel::accelPattern(kind);
+            double sparsity = 0.0;
+            if (kind == AccelKind::STC) {
+                sparsity = 0.5; // Hard-wired 4:8.
+            } else if (pattern != core::Pattern::Dense) {
+                sparsity = workload::isoAccuracySparsity(
+                    w.model, pattern, target_acc);
+            }
+            const auto stats =
+                accel::runModel(kind, w.model, sparsity, w.seq);
+            const double speedup = dense.cycles / stats.cycles;
+            const double edp = stats.edp / dense.edp;
+            if (kind != AccelKind::TC) {
+                speedups[kind].push_back(speedup);
+                edps[kind].push_back(edp);
+            }
+            t.addRow({accel::accelName(kind),
+                      util::fmtDouble(sparsity, 3),
+                      util::fmtDouble(
+                          workload::proxyAccuracy(w.model, pattern,
+                                                  sparsity),
+                          2),
+                      fmtRatio(speedup), util::fmtDouble(edp, 3)});
+        }
+        std::printf("\n[%s, seq=%llu, target accuracy %.2f]\n",
+                    workload::modelName(w.model).c_str(),
+                    static_cast<unsigned long long>(w.seq), target_acc);
+        t.print();
+    }
+
+    util::banner("Fig. 13 summary: TB-STC vs baselines (geomean over "
+                 "models)");
+    util::Table s({"baseline", "speedup gain", "EDP gain", "paper"});
+    const std::map<AccelKind, std::string> paper{
+        {AccelKind::STC, "-"},
+        {AccelKind::Vegeta, "-"},
+        {AccelKind::HighLight, "1.22x speed / 1.62x EDP"},
+        {AccelKind::RmStc, "1.06x speed / 1.92x EDP"},
+    };
+    for (AccelKind kind : kinds) {
+        if (kind == AccelKind::TbStc || kind == AccelKind::TC)
+            continue;
+        std::vector<double> sp;
+        std::vector<double> ed;
+        for (size_t i = 0; i < speedups[AccelKind::TbStc].size(); ++i) {
+            sp.push_back(speedups[AccelKind::TbStc][i]
+                         / speedups[kind][i]);
+            ed.push_back(edps[kind][i] / edps[AccelKind::TbStc][i]);
+        }
+        s.addRow({accel::accelName(kind), fmtRatio(util::geomean(sp)),
+                  fmtRatio(util::geomean(ed)), paper.at(kind)});
+    }
+    s.print();
+    return 0;
+}

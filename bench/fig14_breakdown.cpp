@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Fig. 14: execution-cycle breakdown of typical
+ * GEMMs from BERT's 9th encoder layer on TB-STC, showing that the
+ * codec's format conversion hides inside the pipeline.
+ *
+ * Paper reference: format conversion accounts for only ~3.57% of the
+ * overall execution on average.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+#include "workload/models.hpp"
+
+using namespace tbstc;
+using accel::AccelKind;
+
+int
+main()
+{
+    util::banner("Fig. 14: execution-cycle breakdown on BERT layer 9 "
+                 "(TB-STC, 50% TBS)");
+    util::Table t({"layer", "compute", "memory", "codec work",
+                   "codec exposed", "exposed share"});
+    std::vector<double> exposed_shares;
+    for (const auto &shape : workload::representativeLayers(
+             workload::ModelId::BertBase, 128)) {
+        accel::RunRequest req;
+        req.shape = shape;
+        req.sparsity = 0.5;
+        const auto s = accel::runLayer(AccelKind::TbStc, req);
+        // Visible conversion = the part the pipeline cannot overlap:
+        // the slack-limited exposure plus the per-launch ramp the
+        // codec contributes to the startup window.
+        const double visible = s.breakdown.codecExposed
+            + std::min(s.breakdown.codec, s.breakdown.startup);
+        const double share = visible / s.breakdown.total;
+        exposed_shares.push_back(share);
+        t.addRow({shape.name,
+                  util::fmtDouble(s.breakdown.compute, 0),
+                  util::fmtDouble(s.breakdown.memory, 0),
+                  util::fmtDouble(s.breakdown.codec, 0),
+                  util::fmtDouble(s.breakdown.codecExposed, 0),
+                  bench::fmtPct(share, 2)});
+    }
+    t.print();
+
+    std::printf("\nMean visible conversion share: %.2f%% (paper: "
+                "3.57%%). The codec's raw work\noverlaps the "
+                "compute/memory bottleneck; only queue ramp/drain is "
+                "visible.\n", util::mean(exposed_shares) * 100.0);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates paper Fig. 17: the distribution of block-level sparsity
+ * kinds (row-direction / column-direction / other) across layers of a
+ * TBS-pruned ResNet-50.
+ *
+ * Paper reference: averaged over the model, 18.7% of blocks are
+ * row-direction sparse, 46.0% column-direction, 35.3% other
+ * (dense/empty) — evidence that single-dimension patterns cannot
+ * cover real weight structure.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/blockstats.hpp"
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "workload/models.hpp"
+#include "workload/synth.hpp"
+
+using namespace tbstc;
+
+int
+main()
+{
+    util::banner("Fig. 17: block-direction distribution of the "
+                 "TBS-pruned ResNet-50 (75% sparsity)");
+    util::Table t({"layer", "row-dir", "col-dir", "other"});
+
+    double row_total = 0.0;
+    double col_total = 0.0;
+    double other_total = 0.0;
+    double blocks_total = 0.0;
+
+    const auto layers = workload::modelLayers(workload::ModelId::ResNet50);
+    // Representative low/medium/high-sparsity layers plus the model
+    // average (the paper's "Total" bar).
+    const std::vector<size_t> highlighted{2, 22, 48};
+    for (size_t li = 0; li < layers.size(); ++li) {
+        const auto &shape = layers[li];
+        const auto w = workload::synthWeights(shape, 42, 1024);
+        const auto scores = core::magnitudeScores(w);
+        const auto res =
+            core::tbsMask(scores, 0.75, 8, core::defaultCandidates(8));
+        const auto d = core::directionDistribution(res.meta);
+
+        const auto n = static_cast<double>(d.blocks);
+        row_total += d.rowFrac * n;
+        col_total += d.colFrac * n;
+        other_total += d.otherFrac * n;
+        blocks_total += n;
+
+        for (size_t h : highlighted) {
+            if (h == li) {
+                t.addRow({shape.name, bench::fmtPct(d.rowFrac),
+                          bench::fmtPct(d.colFrac),
+                          bench::fmtPct(d.otherFrac)});
+            }
+        }
+    }
+    t.addRow({"Total (all layers)",
+              bench::fmtPct(row_total / blocks_total),
+              bench::fmtPct(col_total / blocks_total),
+              bench::fmtPct(other_total / blocks_total)});
+    t.print();
+
+    std::printf("\nPaper Total: row 18.7%%, col 46.0%%, other 35.3%%. "
+                "All three categories carry\nsubstantial mass -> "
+                "single-dimension N:M patterns are insufficient.\n");
+    return 0;
+}

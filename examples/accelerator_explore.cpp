@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Architecture design-space exploration with the cycle-level
+ * simulator: sweep the knobs of a TB-STC-class accelerator (DVPE
+ * count, bandwidth, scheduler lookahead, feature units) on a fixed
+ * workload and print the cost/performance frontier. This is the
+ * "what-if" loop an architect runs before committing RTL.
+ *
+ * Run: ./build/examples/accelerator_explore
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "sim/energy.hpp"
+#include "util/table.hpp"
+
+using namespace tbstc;
+using accel::AccelKind;
+
+namespace {
+
+sim::RunStats
+runWith(const sim::ArchConfig &cfg)
+{
+    accel::RunRequest req;
+    req.shape = workload::GemmShape{"bert.fc1", 3072, 768, 128};
+    req.sparsity = 0.75;
+    req.configOverride = cfg;
+    return accel::runLayer(AccelKind::TbStc, req);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto base_cfg = accel::accelConfig(AccelKind::TbStc);
+    const auto base = runWith(base_cfg);
+
+    util::banner("compute scaling: DVPE arrays (BERT FFN, 75% TBS)");
+    util::Table t1({"arrays", "MACs/cycle", "cycles", "speedup",
+                    "area (mm^2)"});
+    for (size_t arrays : {4u, 8u, 16u, 32u}) {
+        auto cfg = base_cfg;
+        cfg.dvpeArrays = arrays;
+        const auto s = runWith(cfg);
+        const sim::AreaModel area(cfg);
+        t1.addRow({std::to_string(arrays),
+                   std::to_string(cfg.totalLanes()),
+                   util::fmtDouble(s.cycles, 0),
+                   util::fmtDouble(base.cycles / s.cycles, 2) + "x",
+                   util::fmtDouble(area.totalAreaMm2(), 2)});
+    }
+    t1.print();
+
+    util::banner("bandwidth scaling at 16 arrays");
+    util::Table t2({"GB/s", "cycles", "bound by"});
+    for (double bw : {64.0, 128.0, 256.0, 512.0}) {
+        auto cfg = base_cfg;
+        cfg.dvpeArrays = 16;
+        cfg.dramGbps = bw;
+        const auto s = runWith(cfg);
+        t2.addRow({util::fmtDouble(bw, 0), util::fmtDouble(s.cycles, 0),
+                   s.breakdown.memory > s.breakdown.compute ? "memory"
+                                                            : "compute"});
+    }
+    t2.print();
+
+    util::banner("scheduling policy (wave dispatch vs scheduling unit)");
+    util::Table t3({"policy", "sched util", "cycles"});
+    for (auto policy : {sim::InterSched::Naive, sim::InterSched::Aware}) {
+        auto cfg = base_cfg;
+        cfg.interSched = policy;
+        const auto s = runWith(cfg);
+        t3.addRow({policy == sim::InterSched::Naive ? "naive waves"
+                                                    : "sparsity-aware",
+                   util::fmtDouble(s.schedUtilisation * 100.0, 1) + "%",
+                   util::fmtDouble(s.cycles, 0)});
+    }
+    t3.print();
+
+    util::banner("feature ablation (what each unit buys)");
+    util::Table t4({"configuration", "cycles", "EDP vs full"});
+    struct Variant
+    {
+        const char *name;
+        bool codec;
+        bool mbd;
+        bool alternate;
+    };
+    for (const Variant &v :
+         {Variant{"full TB-STC", true, true, true},
+          Variant{"no alternate unit", true, true, false},
+          Variant{"no codec/MBD (dense fallback)", false, false, false}}) {
+        auto cfg = base_cfg;
+        cfg.codecUnit = v.codec;
+        cfg.mbdUnit = v.mbd;
+        cfg.alternateUnit = v.alternate;
+        accel::RunRequest req;
+        req.shape = workload::GemmShape{"bert.fc1", 3072, 768, 128};
+        req.sparsity = 0.75;
+        req.configOverride = cfg;
+        // Without codec+MBD the hardware must densify independent
+        // blocks; model that through the facade's fallback by
+        // pretending to be a reduced kind.
+        if (!v.codec) {
+            req.patternOverride = core::Pattern::TBS;
+            const auto s = accel::runLayer(AccelKind::Vegeta, req);
+            t4.addRow({v.name, util::fmtDouble(s.cycles, 0),
+                       util::fmtDouble(s.edp / base.edp, 2) + "x"});
+            continue;
+        }
+        const auto s = accel::runLayer(AccelKind::TbStc, req);
+        t4.addRow({v.name, util::fmtDouble(s.cycles, 0),
+                   util::fmtDouble(s.edp / base.edp, 2) + "x"});
+    }
+    t4.print();
+
+    std::printf("\nReading: the paper's 8-array / 64 GB/s design point "
+                "balances compute against\nbandwidth for DL layer "
+                "shapes; the codec+MBD+alternate trio is what makes "
+                "the\nTBS pattern pay off.\n");
+    return 0;
+}

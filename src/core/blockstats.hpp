@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Block-level statistics over TBS-pruned matrices: direction
+ * distribution (paper Fig. 17), per-block density histograms, and the
+ * workload-imbalance metrics motivating Sec. VI.
+ */
+
+#ifndef TBSTC_CORE_BLOCKSTATS_HPP
+#define TBSTC_CORE_BLOCKSTATS_HPP
+
+#include <vector>
+
+#include "matrix.hpp"
+#include "pattern.hpp"
+
+namespace tbstc::core {
+
+/** Fig. 17 categories for one block. */
+enum class BlockKind : uint8_t
+{
+    RowSparse, ///< N:M along the reduction dimension (and N in (0, M)).
+    ColSparse, ///< N:M along the independent dimension (and N in (0, M)).
+    Other,     ///< Dense (N = M) or empty (N = 0): direction-free.
+};
+
+/** Distribution of block kinds across a TBS metadata grid. */
+struct DirectionDistribution
+{
+    double rowFrac = 0.0;
+    double colFrac = 0.0;
+    double otherFrac = 0.0;
+    size_t blocks = 0;
+};
+
+/** Classify one block. */
+BlockKind classifyBlock(const BlockInfo &info, size_t m);
+
+/** Fig. 17: fraction of row-/column-/other blocks in @p meta. */
+DirectionDistribution directionDistribution(const TbsMeta &meta);
+
+/** Per-block non-zero counts of @p mask on the M-grid of @p meta. */
+std::vector<size_t> blockNnz(const Mask &mask, size_t m);
+
+/**
+ * Inter-block imbalance: ratio of the mean block workload to the max,
+ * i.e. the PE utilisation a naive one-block-per-PE-slot mapping
+ * achieves over each consecutive window of @p window blocks.
+ */
+double naiveInterBlockUtilisation(const std::vector<size_t> &nnz,
+                                  size_t window, size_t m);
+
+} // namespace tbstc::core
+
+#endif // TBSTC_CORE_BLOCKSTATS_HPP

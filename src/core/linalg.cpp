@@ -1,0 +1,116 @@
+#include "linalg.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tbstc::core {
+
+using util::ensure;
+using util::fatal;
+
+Matrix
+choleskyLower(const Matrix &a)
+{
+    ensure(a.rows() == a.cols(), "choleskyLower requires a square matrix");
+    const size_t n = a.rows();
+    Matrix l(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = a.at(i, j);
+            for (size_t k = 0; k < j; ++k)
+                sum -= static_cast<double>(l.at(i, k)) * l.at(j, k);
+            if (i == j) {
+                if (sum <= 0.0)
+                    fatal("choleskyLower: matrix is not positive definite "
+                          "(pivot {} at index {})", sum, i);
+                l.at(i, j) = static_cast<float>(std::sqrt(sum));
+            } else {
+                l.at(i, j) = static_cast<float>(sum / l.at(j, j));
+            }
+        }
+    }
+    return l;
+}
+
+Matrix
+choleskyUpper(const Matrix &a)
+{
+    return choleskyLower(a).transposed();
+}
+
+Matrix
+spdInverse(const Matrix &a)
+{
+    const size_t n = a.rows();
+    const Matrix l = choleskyLower(a);
+
+    // Invert L by forward substitution: L * Linv = I.
+    Matrix linv(n, n);
+    for (size_t col = 0; col < n; ++col) {
+        for (size_t i = col; i < n; ++i) {
+            double sum = (i == col) ? 1.0 : 0.0;
+            for (size_t k = col; k < i; ++k)
+                sum -= static_cast<double>(l.at(i, k)) * linv.at(k, col);
+            linv.at(i, col) = static_cast<float>(sum / l.at(i, i));
+        }
+    }
+
+    // A^-1 = Linv^T * Linv.
+    Matrix inv(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double sum = 0.0;
+            for (size_t k = std::max(i, j); k < n; ++k)
+                sum += static_cast<double>(linv.at(k, i)) * linv.at(k, j);
+            inv.at(i, j) = static_cast<float>(sum);
+        }
+    }
+    return inv;
+}
+
+Matrix
+gramFromActivations(const Matrix &x, double damp)
+{
+    ensure(x.rows() > 0, "gramFromActivations requires samples");
+    const size_t n = x.rows();
+    const size_t f = x.cols();
+    Matrix h(f, f);
+    for (size_t s = 0; s < n; ++s) {
+        for (size_t i = 0; i < f; ++i) {
+            const float xi = x.at(s, i);
+            if (xi == 0.0f)
+                continue;
+            for (size_t j = i; j < f; ++j)
+                h.at(i, j) += xi * x.at(s, j);
+        }
+    }
+    double trace = 0.0;
+    for (size_t i = 0; i < f; ++i)
+        trace += h.at(i, i);
+    const float lambda =
+        static_cast<float>(damp * trace / static_cast<double>(f * n));
+    for (size_t i = 0; i < f; ++i) {
+        for (size_t j = i; j < f; ++j) {
+            h.at(i, j) = h.at(i, j) / static_cast<float>(n)
+                + (i == j ? lambda : 0.0f);
+            h.at(j, i) = h.at(i, j);
+        }
+    }
+    // Guarantee positive definiteness even for rank-deficient samples.
+    for (size_t i = 0; i < f; ++i)
+        if (h.at(i, i) <= 0.0f)
+            h.at(i, i) = 1e-6f;
+    return h;
+}
+
+Matrix
+identity(size_t n)
+{
+    Matrix i(n, n);
+    for (size_t k = 0; k < n; ++k)
+        i.at(k, k) = 1.0f;
+    return i;
+}
+
+} // namespace tbstc::core

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dense linear algebra needed by the SparseGPT-style pruning criterion:
+ * Cholesky factorization and SPD inversion of the activation Gram matrix.
+ */
+
+#ifndef TBSTC_CORE_LINALG_HPP
+#define TBSTC_CORE_LINALG_HPP
+
+#include "matrix.hpp"
+
+namespace tbstc::core {
+
+/**
+ * Lower-triangular Cholesky factor L with A = L * L^T.
+ * @param a Symmetric positive-definite matrix.
+ * @note fatal() if @p a is not SPD (non-positive pivot).
+ */
+Matrix choleskyLower(const Matrix &a);
+
+/** Upper-triangular Cholesky factor U with A = U^T * U. */
+Matrix choleskyUpper(const Matrix &a);
+
+/** Inverse of an SPD matrix via Cholesky. */
+Matrix spdInverse(const Matrix &a);
+
+/**
+ * Gram matrix H = (1/n) X^T X + damp * mean(diag) * I from activation
+ * samples X (n x features). This is the Hessian proxy used by
+ * SparseGPT/OBS.
+ */
+Matrix gramFromActivations(const Matrix &x, double damp = 0.01);
+
+/** Identity matrix of size n. */
+Matrix identity(size_t n);
+
+} // namespace tbstc::core
+
+#endif // TBSTC_CORE_LINALG_HPP

@@ -1,0 +1,157 @@
+#include "matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tbstc::core {
+
+using util::ensure;
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    ensure(data_.size() == rows * cols, "Matrix data size mismatch");
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+double
+Matrix::absSum() const
+{
+    double sum = 0.0;
+    for (float x : data_)
+        sum += std::fabs(x);
+    return sum;
+}
+
+double
+Matrix::frobenius() const
+{
+    double sum = 0.0;
+    for (float x : data_)
+        sum += static_cast<double>(x) * x;
+    return std::sqrt(sum);
+}
+
+Mask::Mask(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), keep_(rows * cols, 0)
+{
+}
+
+size_t
+Mask::nnz() const
+{
+    size_t n = 0;
+    for (uint8_t k : keep_)
+        n += k;
+    return n;
+}
+
+double
+Mask::sparsity() const
+{
+    if (keep_.empty())
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz())
+        / static_cast<double>(keep_.size());
+}
+
+double
+Mask::overlap(const Mask &other) const
+{
+    ensure(rows_ == other.rows_ && cols_ == other.cols_,
+           "Mask::overlap shape mismatch");
+    const size_t other_nnz = other.nnz();
+    if (other_nnz == 0)
+        return 1.0;
+    size_t agree = 0;
+    for (size_t i = 0; i < keep_.size(); ++i)
+        agree += keep_[i] & other.keep_[i];
+    return static_cast<double>(agree) / static_cast<double>(other_nnz);
+}
+
+double
+Mask::agreement(const Mask &other) const
+{
+    ensure(rows_ == other.rows_ && cols_ == other.cols_,
+           "Mask::agreement shape mismatch");
+    if (keep_.empty())
+        return 1.0;
+    size_t same = 0;
+    for (size_t i = 0; i < keep_.size(); ++i)
+        same += keep_[i] == other.keep_[i];
+    return static_cast<double>(same) / static_cast<double>(keep_.size());
+}
+
+Mask
+Mask::transposed() const
+{
+    Mask t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+applyMask(const Matrix &w, const Mask &mask)
+{
+    ensure(w.rows() == mask.rows() && w.cols() == mask.cols(),
+           "applyMask shape mismatch");
+    Matrix out(w.rows(), w.cols());
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            out.at(r, c) = mask.at(r, c) ? w.at(r, c) : 0.0f;
+    return out;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b, const Matrix *c)
+{
+    ensure(a.cols() == b.rows(), "matmul inner dimension mismatch");
+    Matrix d(a.rows(), b.cols());
+    if (c) {
+        ensure(c->rows() == d.rows() && c->cols() == d.cols(),
+               "matmul bias shape mismatch");
+        d = *c;
+    }
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            for (size_t j = 0; j < b.cols(); ++j)
+                d.at(i, j) += aik * b.at(k, j);
+        }
+    }
+    return d;
+}
+
+double
+maxAbsDiff(const Matrix &x, const Matrix &y)
+{
+    ensure(x.rows() == y.rows() && x.cols() == y.cols(),
+           "maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(x.data()[i])
+                                  - y.data()[i]));
+    return m;
+}
+
+} // namespace tbstc::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Dense matrix and binary mask containers shared by every subsystem.
+ *
+ * Conventions (paper Fig. 3(a)): in the SpMM D = A x B + C the sparse
+ * operand A has shape rows x cols where @b cols is the reduction
+ * dimension (contracted with B) and @b rows is the independent dimension
+ * (survives into D). "Row-wise" N:M sparsity groups M consecutive
+ * elements along a row (i.e. along the reduction dimension); "column-wise"
+ * groups along a column (the independent dimension).
+ */
+
+#ifndef TBSTC_CORE_MATRIX_HPP
+#define TBSTC_CORE_MATRIX_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tbstc::core {
+
+/** Row-major dense float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix of zeros. */
+    Matrix(size_t rows, size_t cols);
+
+    /** Construct from existing row-major data (size must match). */
+    Matrix(size_t rows, size_t cols, std::vector<float> data);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    float &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    std::span<float> data() { return data_; }
+    std::span<const float> data() const { return data_; }
+
+    /** Mutable view of one row. */
+    std::span<float> row(size_t r) { return {&data_[r * cols_], cols_}; }
+    std::span<const float>
+    row(size_t r) const
+    {
+        return {&data_[r * cols_], cols_};
+    }
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Sum of |a_ij|. */
+    double absSum() const;
+
+    /** Frobenius norm. */
+    double frobenius() const;
+
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Binary keep/drop mask over a matrix (1 = keep). */
+class Mask
+{
+  public:
+    Mask() = default;
+
+    /** Construct a rows x cols mask, all dropped. */
+    Mask(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    uint8_t &at(size_t r, size_t c) { return keep_[r * cols_ + c]; }
+    uint8_t at(size_t r, size_t c) const { return keep_[r * cols_ + c]; }
+
+    std::span<const uint8_t> data() const { return keep_; }
+
+    /** Number of kept (non-zero) positions. */
+    size_t nnz() const;
+
+    /** Fraction of dropped positions. */
+    double sparsity() const;
+
+    /** Kept positions agreeing with @p other, as a fraction of its nnz. */
+    double overlap(const Mask &other) const;
+
+    /**
+     * Position-wise agreement with @p other (keeps and drops both
+     * count): 1 - normalized Hamming/L1 distance. The paper's
+     * mask-similarity metric (Fig. 4(b)).
+     */
+    double agreement(const Mask &other) const;
+
+    /** Transposed copy. */
+    Mask transposed() const;
+
+    bool operator==(const Mask &other) const = default;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<uint8_t> keep_;
+};
+
+/** Element-wise product W .* mask; shapes must match. */
+Matrix applyMask(const Matrix &w, const Mask &mask);
+
+/** Reference dense GEMM: D = A x B (+ C when provided). */
+Matrix matmul(const Matrix &a, const Matrix &b, const Matrix *c = nullptr);
+
+/** Max |x - y| over all elements; shapes must match. */
+double maxAbsDiff(const Matrix &x, const Matrix &y);
+
+} // namespace tbstc::core
+
+#endif // TBSTC_CORE_MATRIX_HPP

@@ -1,0 +1,128 @@
+#include "prune.hpp"
+
+#include <cmath>
+
+#include "linalg.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::core {
+
+using util::ensure;
+
+std::string
+criterionName(Criterion c)
+{
+    switch (c) {
+      case Criterion::Magnitude: return "Magnitude";
+      case Criterion::Wanda:     return "Wanda";
+      case Criterion::SparseGpt: return "SparseGPT";
+      case Criterion::Gradient:  return "Gradient";
+    }
+    util::panic("unknown Criterion");
+}
+
+Matrix
+magnitudeScores(const Matrix &w)
+{
+    Matrix s(w.rows(), w.cols());
+    for (size_t i = 0; i < w.size(); ++i)
+        s.data()[i] = std::fabs(w.data()[i]);
+    return s;
+}
+
+Matrix
+wandaScores(const Matrix &w, std::span<const float> act_norm)
+{
+    ensure(act_norm.size() == w.cols(),
+           "wandaScores: one activation norm per input feature required");
+    Matrix s(w.rows(), w.cols());
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            s.at(r, c) = std::fabs(w.at(r, c)) * act_norm[c];
+    return s;
+}
+
+std::vector<float>
+activationNorms(const Matrix &acts)
+{
+    std::vector<float> norms(acts.cols(), 0.0f);
+    for (size_t s = 0; s < acts.rows(); ++s)
+        for (size_t f = 0; f < acts.cols(); ++f)
+            norms[f] += acts.at(s, f) * acts.at(s, f);
+    for (auto &n : norms)
+        n = std::sqrt(n);
+    return norms;
+}
+
+Matrix
+sparseGptScores(const Matrix &w, const Matrix &hinv)
+{
+    ensure(hinv.rows() == w.cols() && hinv.cols() == w.cols(),
+           "sparseGptScores: H^-1 must be cols x cols");
+    Matrix s(w.rows(), w.cols());
+    for (size_t c = 0; c < w.cols(); ++c) {
+        const float d = hinv.at(c, c);
+        ensure(d > 0.0f, "sparseGptScores: non-positive H^-1 diagonal");
+        for (size_t r = 0; r < w.rows(); ++r)
+            s.at(r, c) = w.at(r, c) * w.at(r, c) / d;
+    }
+    return s;
+}
+
+void
+obsCompensate(Matrix &w, const Mask &mask, const Matrix &hinv_upper)
+{
+    ensure(mask.rows() == w.rows() && mask.cols() == w.cols(),
+           "obsCompensate: mask shape mismatch");
+    ensure(hinv_upper.rows() == w.cols() && hinv_upper.cols() == w.cols(),
+           "obsCompensate: Cholesky factor must be cols x cols");
+    const size_t cols = w.cols();
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t j = 0; j < cols; ++j) {
+            if (mask.at(r, j))
+                continue;
+            const float ujj = hinv_upper.at(j, j);
+            const float err = w.at(r, j) / ujj;
+            w.at(r, j) = 0.0f;
+            for (size_t j2 = j + 1; j2 < cols; ++j2)
+                w.at(r, j2) -= err * hinv_upper.at(j, j2);
+        }
+        // Zeroing happened as we swept; re-apply the mask so later
+        // compensation cannot resurrect pruned positions.
+        for (size_t j = 0; j < cols; ++j)
+            if (!mask.at(r, j))
+                w.at(r, j) = 0.0f;
+    }
+}
+
+Matrix
+gradientScores(const Matrix &w, const Matrix &grad)
+{
+    ensure(grad.rows() == w.rows() && grad.cols() == w.cols(),
+           "gradientScores: gradient shape mismatch");
+    Matrix s(w.rows(), w.cols());
+    for (size_t i = 0; i < w.size(); ++i)
+        s.data()[i] = std::fabs(w.data()[i] * grad.data()[i]);
+    return s;
+}
+
+Matrix
+criterionScores(Criterion c, const Matrix &w, const Matrix &acts)
+{
+    switch (c) {
+      case Criterion::Magnitude:
+        return magnitudeScores(w);
+      case Criterion::Wanda:
+        return wandaScores(w, activationNorms(acts));
+      case Criterion::SparseGpt: {
+        const Matrix h = gramFromActivations(acts);
+        return sparseGptScores(w, spdInverse(h));
+      }
+      case Criterion::Gradient:
+        util::fatal("Gradient criterion needs an explicit gradient; "
+                    "call gradientScores() directly");
+    }
+    util::panic("unknown Criterion");
+}
+
+} // namespace tbstc::core

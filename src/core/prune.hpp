@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Pruning criteria (saliency scores) and one-shot weight compensation.
+ *
+ * The paper stresses that the sparsity *pattern* is orthogonal to the
+ * pruning *criterion* (Sec. III-B note). We provide the three criteria
+ * the evaluation uses: magnitude, Wanda, and a SparseGPT-style OBS
+ * criterion with optional weight compensation.
+ */
+
+#ifndef TBSTC_CORE_PRUNE_HPP
+#define TBSTC_CORE_PRUNE_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "matrix.hpp"
+
+namespace tbstc::core {
+
+/** Pruning criterion family. */
+enum class Criterion : uint8_t
+{
+    Magnitude, ///< |W| (Han et al.).
+    Wanda,     ///< |W| * ||X_j||_2 per input feature (Sun et al.).
+    SparseGpt, ///< W^2 / diag(H^-1) (Frantar & Alistarh).
+    Gradient,  ///< |W * dL/dW| first-order saliency (Taylor pruning).
+};
+
+/** Human-readable criterion name. */
+std::string criterionName(Criterion c);
+
+/** Magnitude saliency: score_ij = |w_ij|. */
+Matrix magnitudeScores(const Matrix &w);
+
+/**
+ * Wanda saliency: score_ij = |w_ij| * ||X_j||_2, where @p act_norm[j]
+ * is the L2 norm of input feature j over a calibration batch. The
+ * weight matrix is rows x cols with cols = input features (reduction).
+ */
+Matrix wandaScores(const Matrix &w, std::span<const float> act_norm);
+
+/** Per-feature L2 norms of a calibration activation batch (n x features). */
+std::vector<float> activationNorms(const Matrix &acts);
+
+/**
+ * SparseGPT/OBS saliency: score_ij = w_ij^2 / [H^-1]_jj with H the
+ * activation Gram matrix (see gramFromActivations()).
+ */
+Matrix sparseGptScores(const Matrix &w, const Matrix &hinv);
+
+/**
+ * First-order (Taylor) saliency: score_ij = |w_ij * g_ij| where
+ * @p grad is the loss gradient w.r.t. the weights. The paper lists
+ * gradient-based criteria among the orthogonal choices TBS composes
+ * with.
+ */
+Matrix gradientScores(const Matrix &w, const Matrix &grad);
+
+/**
+ * SparseGPT column-sequential weight compensation.
+ *
+ * After a mask has been chosen, sweeps columns left to right; for each
+ * pruned weight w_ij the remaining columns j' > j of row i absorb the
+ * OBS update -w_ij / U_jj * U_j,j' where U is the upper Cholesky factor
+ * of H^-1. This is the error-compensation step that makes SparseGPT
+ * one-shot pruning accurate.
+ *
+ * @param w Weight matrix; updated in place (pruned entries zeroed).
+ * @param mask Keep mask (1 = keep).
+ * @param hinv_upper Upper Cholesky factor of the inverse Gram matrix.
+ */
+void obsCompensate(Matrix &w, const Mask &mask, const Matrix &hinv_upper);
+
+/**
+ * Compute criterion scores with the auxiliary statistics each criterion
+ * needs derived from a calibration batch @p acts (n x features).
+ * Magnitude ignores @p acts.
+ */
+Matrix criterionScores(Criterion c, const Matrix &w, const Matrix &acts);
+
+} // namespace tbstc::core
+
+#endif // TBSTC_CORE_PRUNE_HPP

@@ -1,0 +1,484 @@
+#include "sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace tbstc::core {
+
+using util::ensure;
+using util::fatal;
+
+namespace {
+
+/**
+ * Mark the top @p n of @p vals in @p keep (1 = kept). Deterministic
+ * tie-break: higher score wins, then lower index.
+ */
+void
+selectTopN(std::span<const float> vals, size_t n, std::span<uint8_t> keep)
+{
+    ensure(vals.size() == keep.size(), "selectTopN size mismatch");
+    std::fill(keep.begin(), keep.end(), uint8_t{0});
+    if (n == 0)
+        return;
+    if (n >= vals.size()) {
+        std::fill(keep.begin(), keep.end(), uint8_t{1});
+        return;
+    }
+    std::vector<size_t> idx(vals.size());
+    std::iota(idx.begin(), idx.end(), size_t{0});
+    std::partial_sort(idx.begin(), idx.begin() + n, idx.end(),
+                      [&](size_t a, size_t b) {
+                          if (vals[a] != vals[b])
+                              return vals[a] > vals[b];
+                          return a < b;
+                      });
+    for (size_t i = 0; i < n; ++i)
+        keep[idx[i]] = 1;
+}
+
+/** Target number of kept elements for a sparsity degree. */
+size_t
+targetNnz(size_t total, double sparsity)
+{
+    if (sparsity < 0.0 || sparsity > 1.0)
+        fatal("sparsity degree {} is outside [0, 1]", sparsity);
+    const double keep = (1.0 - sparsity) * static_cast<double>(total);
+    return static_cast<size_t>(std::llround(keep));
+}
+
+/** One unit of the candidate-count fitting problem. */
+struct FitUnit
+{
+    double ideal;  ///< Desired kept elements (from the US mask).
+    size_t groups; ///< Number of N:M groups in the unit.
+};
+
+/**
+ * Choose a per-unit N from @p candidates so each unit's kept count
+ * (N * groups) tracks its unstructured ideal, then run a
+ * largest-remainder promotion pass so the matrix total lands as close
+ * to @p target_nnz as the candidate lattice allows. This implements
+ * Alg. 1 step 2's "ensuring the overall sparsity meets the
+ * predetermined target".
+ */
+std::vector<uint8_t>
+fitCounts(std::span<const FitUnit> units,
+          std::span<const uint8_t> candidates, size_t target_nnz)
+{
+    ensure(!candidates.empty(), "fitCounts requires candidates");
+    std::vector<uint8_t> cand(candidates.begin(), candidates.end());
+    std::sort(cand.begin(), cand.end());
+
+    struct Promo
+    {
+        size_t unit;
+        double frac;   ///< How far the ideal sits above the floor step.
+        size_t gain;   ///< Elements added by promoting one step.
+        uint8_t hi;    ///< Candidate reached by the promotion.
+    };
+
+    std::vector<uint8_t> n(units.size());
+    std::vector<Promo> promos;
+    long long total = 0;
+
+    for (size_t u = 0; u < units.size(); ++u) {
+        const double per_group =
+            units[u].ideal / static_cast<double>(units[u].groups);
+        // Bracket per_group between adjacent candidates.
+        size_t hi_idx = 0;
+        while (hi_idx < cand.size()
+               && static_cast<double>(cand[hi_idx]) < per_group)
+            ++hi_idx;
+        const uint8_t hi =
+            hi_idx < cand.size() ? cand[hi_idx] : cand.back();
+        const uint8_t lo = hi_idx > 0 ? cand[hi_idx - 1] : cand.front();
+        n[u] = lo;
+        total += static_cast<long long>(lo) * units[u].groups;
+        if (hi > lo) {
+            const double frac = (per_group - lo) / (hi - lo);
+            promos.push_back(
+                {u, frac, (hi - lo) * units[u].groups, hi});
+        }
+    }
+
+    long long deficit = static_cast<long long>(target_nnz) - total;
+    std::sort(promos.begin(), promos.end(),
+              [](const Promo &a, const Promo &b) {
+                  if (a.frac != b.frac)
+                      return a.frac > b.frac;
+                  return a.unit < b.unit;
+              });
+    for (const auto &p : promos) {
+        if (deficit <= 0)
+            break;
+        const auto gain = static_cast<long long>(p.gain);
+        // Promote only when it brings the total closer to the target.
+        if (std::llabs(deficit - gain) < deficit) {
+            n[p.unit] = p.hi;
+            deficit -= gain;
+        }
+    }
+    return n;
+}
+
+void
+checkBlockDivisibility(const Matrix &scores, size_t m)
+{
+    if (m == 0 || scores.rows() % m != 0 || scores.cols() % m != 0)
+        fatal("matrix {}x{} is not divisible into {}x{} blocks; pad the "
+              "workload to the block grid first",
+              scores.rows(), scores.cols(), m, m);
+}
+
+/** Row-wise patterns only tile along rows; rows may be ragged. */
+void
+checkTileDivisibility(const Matrix &scores, size_t m)
+{
+    if (m == 0 || scores.cols() % m != 0)
+        fatal("matrix {}x{} rows are not divisible into {}-element "
+              "tiles; pad the workload first",
+              scores.rows(), scores.cols(), m);
+}
+
+} // namespace
+
+Mask
+usMask(const Matrix &scores, double sparsity)
+{
+    const size_t k = targetNnz(scores.size(), sparsity);
+    Mask mask(scores.rows(), scores.cols());
+    std::vector<uint8_t> keep(scores.size());
+    selectTopN(scores.data(), k, keep);
+    for (size_t r = 0; r < scores.rows(); ++r)
+        for (size_t c = 0; c < scores.cols(); ++c)
+            mask.at(r, c) = keep[r * scores.cols() + c];
+    return mask;
+}
+
+Mask
+tsMask(const Matrix &scores, size_t n, size_t m)
+{
+    checkTileDivisibility(scores, m);
+    ensure(n <= m, "tsMask requires n <= m");
+    Mask mask(scores.rows(), scores.cols());
+    std::vector<float> tile(m);
+    std::vector<uint8_t> keep(m);
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        for (size_t t = 0; t < scores.cols(); t += m) {
+            for (size_t i = 0; i < m; ++i)
+                tile[i] = scores.at(r, t + i);
+            selectTopN(tile, n, keep);
+            for (size_t i = 0; i < m; ++i)
+                mask.at(r, t + i) = keep[i];
+        }
+    }
+    return mask;
+}
+
+Mask
+rsvMask(const Matrix &scores, double sparsity, size_t m,
+        std::span<const uint8_t> candidates)
+{
+    checkTileDivisibility(scores, m);
+    const Mask us = usMask(scores, sparsity);
+    const size_t target = targetNnz(scores.size(), sparsity);
+    const size_t groups = scores.cols() / m;
+
+    std::vector<FitUnit> units(scores.rows());
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        size_t row_nnz = 0;
+        for (size_t c = 0; c < scores.cols(); ++c)
+            row_nnz += us.at(r, c);
+        units[r] = {static_cast<double>(row_nnz), groups};
+    }
+    const std::vector<uint8_t> n = fitCounts(units, candidates, target);
+
+    Mask mask(scores.rows(), scores.cols());
+    std::vector<float> tile(m);
+    std::vector<uint8_t> keep(m);
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        for (size_t t = 0; t < scores.cols(); t += m) {
+            for (size_t i = 0; i < m; ++i)
+                tile[i] = scores.at(r, t + i);
+            selectTopN(tile, n[r], keep);
+            for (size_t i = 0; i < m; ++i)
+                mask.at(r, t + i) = keep[i];
+        }
+    }
+    return mask;
+}
+
+Mask
+rshMask(const Matrix &scores, double sparsity, size_t m,
+        std::span<const uint8_t> /* candidates */)
+{
+    checkTileDivisibility(scores, m);
+    const Mask us = usMask(scores, sparsity);
+    const size_t target = targetNnz(scores.size(), sparsity);
+    const size_t tiles_per_row = scores.cols() / m;
+
+    // Super-groups of up to M row tiles. HighLight's hierarchy: keep T
+    // of the super-group's tiles; surviving tiles are either dense (M:M)
+    // or half-dense (M/2:M), mirroring the structure of paper Eq. (3).
+    struct Super
+    {
+        size_t row;
+        size_t tile0;     ///< First tile index in the row.
+        size_t tiles;     ///< Tiles in this super-group (<= m).
+        size_t us_nnz;
+        uint8_t n0;       ///< Inner density: m or m/2.
+    };
+    std::vector<Super> supers;
+    for (size_t r = 0; r < scores.rows(); ++r) {
+        for (size_t t0 = 0; t0 < tiles_per_row; t0 += m) {
+            Super s;
+            s.row = r;
+            s.tile0 = t0;
+            s.tiles = std::min(m, tiles_per_row - t0);
+            s.us_nnz = 0;
+            for (size_t c = t0 * m; c < (t0 + s.tiles) * m; ++c)
+                s.us_nnz += us.at(r, c);
+            // Inner density from the average kept-per-surviving-tile:
+            // dense inner tiles when the super-group is lightly pruned.
+            const double density = static_cast<double>(s.us_nnz)
+                / static_cast<double>(s.tiles * m);
+            s.n0 = density > 0.5 ? static_cast<uint8_t>(m)
+                                  : static_cast<uint8_t>(m / 2);
+            supers.push_back(s);
+        }
+    }
+
+    // Fit the number of kept tiles T per super-group. Tile candidates
+    // are the contiguous integers 0..tiles; reuse fitCounts by treating
+    // each super-group as one unit of `tiles` groups with N in 0..1 ...
+    // simpler: largest-remainder directly over tile counts.
+    std::vector<size_t> t_count(supers.size());
+    struct Promo
+    {
+        size_t unit;
+        double frac;
+        size_t gain;
+    };
+    std::vector<Promo> promos;
+    long long total = 0;
+    for (size_t u = 0; u < supers.size(); ++u) {
+        const double ideal_tiles = static_cast<double>(supers[u].us_nnz)
+            / static_cast<double>(supers[u].n0);
+        const auto floor_t = static_cast<size_t>(
+            std::min<double>(std::floor(ideal_tiles),
+                             static_cast<double>(supers[u].tiles)));
+        t_count[u] = floor_t;
+        total += static_cast<long long>(floor_t) * supers[u].n0;
+        if (floor_t < supers[u].tiles) {
+            promos.push_back({u, ideal_tiles - static_cast<double>(floor_t),
+                              supers[u].n0});
+        }
+    }
+    long long deficit = static_cast<long long>(target) - total;
+    std::sort(promos.begin(), promos.end(),
+              [](const Promo &a, const Promo &b) {
+                  if (a.frac != b.frac)
+                      return a.frac > b.frac;
+                  return a.unit < b.unit;
+              });
+    for (const auto &p : promos) {
+        if (deficit <= 0)
+            break;
+        const auto gain = static_cast<long long>(p.gain);
+        if (std::llabs(deficit - gain) < deficit) {
+            ++t_count[p.unit];
+            deficit -= gain;
+        }
+    }
+
+    // Materialize: per super-group keep the T tiles with the largest
+    // score mass, each at its inner density.
+    Mask mask(scores.rows(), scores.cols());
+    std::vector<float> tile(m);
+    std::vector<uint8_t> keep(m);
+    for (size_t u = 0; u < supers.size(); ++u) {
+        const Super &s = supers[u];
+        std::vector<std::pair<double, size_t>> mass(s.tiles);
+        for (size_t t = 0; t < s.tiles; ++t) {
+            double sum = 0.0;
+            for (size_t i = 0; i < m; ++i)
+                sum += scores.at(s.row, (s.tile0 + t) * m + i);
+            mass[t] = {sum, t};
+        }
+        std::sort(mass.begin(), mass.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return a.second < b.second;
+                  });
+        for (size_t rank = 0; rank < t_count[u]; ++rank) {
+            const size_t t = mass[rank].second;
+            for (size_t i = 0; i < m; ++i)
+                tile[i] = scores.at(s.row, (s.tile0 + t) * m + i);
+            selectTopN(tile, s.n0, keep);
+            for (size_t i = 0; i < m; ++i)
+                mask.at(s.row, (s.tile0 + t) * m + i) = keep[i];
+        }
+    }
+    return mask;
+}
+
+TbsResult
+tbsMask(const Matrix &scores, double sparsity, size_t m,
+        std::span<const uint8_t> candidates)
+{
+    checkBlockDivisibility(scores, m);
+    // Step 1: unstructured pruning at the target sparsity.
+    const Mask us = usMask(scores, sparsity);
+    const size_t target = targetNnz(scores.size(), sparsity);
+    const size_t block_rows = scores.rows() / m;
+    const size_t block_cols = scores.cols() / m;
+
+    // Step 2: choose N per block from the unstructured block density.
+    std::vector<FitUnit> units(block_rows * block_cols);
+    for (size_t br = 0; br < block_rows; ++br) {
+        for (size_t bc = 0; bc < block_cols; ++bc) {
+            size_t nnz = 0;
+            for (size_t r = 0; r < m; ++r)
+                for (size_t c = 0; c < m; ++c)
+                    nnz += us.at(br * m + r, bc * m + c);
+            units[br * block_cols + bc] = {static_cast<double>(nnz), m};
+        }
+    }
+    const std::vector<uint8_t> n = fitCounts(units, candidates, target);
+
+    // Step 3: per block, choose the pruning direction by L1 distance to
+    // the unstructured block mask.
+    TbsResult out;
+    out.mask = Mask(scores.rows(), scores.cols());
+    out.meta.m = m;
+    out.meta.blockRows = block_rows;
+    out.meta.blockCols = block_cols;
+    out.meta.blocks.resize(block_rows * block_cols);
+
+    std::vector<float> line(m);
+    std::vector<uint8_t> keep(m);
+    std::vector<uint8_t> row_mask(m * m);
+    std::vector<uint8_t> col_mask(m * m);
+    for (size_t br = 0; br < block_rows; ++br) {
+        for (size_t bc = 0; bc < block_cols; ++bc) {
+            const uint8_t nb = n[br * block_cols + bc];
+
+            // Reduction direction: top-N per row of the block.
+            for (size_t r = 0; r < m; ++r) {
+                for (size_t c = 0; c < m; ++c)
+                    line[c] = scores.at(br * m + r, bc * m + c);
+                selectTopN(line, nb, keep);
+                for (size_t c = 0; c < m; ++c)
+                    row_mask[r * m + c] = keep[c];
+            }
+            // Independent direction: top-N per column of the block.
+            for (size_t c = 0; c < m; ++c) {
+                for (size_t r = 0; r < m; ++r)
+                    line[r] = scores.at(br * m + r, bc * m + c);
+                selectTopN(line, nb, keep);
+                for (size_t r = 0; r < m; ++r)
+                    col_mask[r * m + c] = keep[r];
+            }
+
+            size_t dist_row = 0;
+            size_t dist_col = 0;
+            for (size_t r = 0; r < m; ++r) {
+                for (size_t c = 0; c < m; ++c) {
+                    const uint8_t u = us.at(br * m + r, bc * m + c);
+                    dist_row += row_mask[r * m + c] != u;
+                    dist_col += col_mask[r * m + c] != u;
+                }
+            }
+            const bool use_row = dist_row <= dist_col;
+            const auto &chosen = use_row ? row_mask : col_mask;
+            for (size_t r = 0; r < m; ++r)
+                for (size_t c = 0; c < m; ++c)
+                    out.mask.at(br * m + r, bc * m + c) =
+                        chosen[r * m + c];
+            out.meta.block(br, bc) = {
+                nb, use_row ? SparsityDim::Reduction
+                            : SparsityDim::Independent};
+        }
+    }
+    return out;
+}
+
+Mask
+patternMask(Pattern p, const Matrix &scores, double sparsity, size_t m,
+            std::span<const uint8_t> candidates)
+{
+    switch (p) {
+      case Pattern::Dense: {
+        Mask mask(scores.rows(), scores.cols());
+        for (size_t r = 0; r < mask.rows(); ++r)
+            for (size_t c = 0; c < mask.cols(); ++c)
+                mask.at(r, c) = 1;
+        return mask;
+      }
+      case Pattern::US:
+        return usMask(scores, sparsity);
+      case Pattern::TS: {
+        const auto n = static_cast<size_t>(
+            std::llround((1.0 - sparsity) * static_cast<double>(m)));
+        return tsMask(scores, std::min(n, m), m);
+      }
+      case Pattern::RSV:
+        return rsvMask(scores, sparsity, m, candidates);
+      case Pattern::RSH:
+        return rshMask(scores, sparsity, m, candidates);
+      case Pattern::TBS:
+        return tbsMask(scores, sparsity, m, candidates).mask;
+    }
+    util::panic("unknown Pattern");
+}
+
+bool
+validateTbs(const Mask &mask, const TbsMeta &meta)
+{
+    const size_t m = meta.m;
+    if (mask.rows() != meta.blockRows * m
+        || mask.cols() != meta.blockCols * m)
+        return false;
+    for (size_t br = 0; br < meta.blockRows; ++br) {
+        for (size_t bc = 0; bc < meta.blockCols; ++bc) {
+            const BlockInfo &info = meta.block(br, bc);
+            for (size_t g = 0; g < m; ++g) {
+                size_t nnz = 0;
+                for (size_t i = 0; i < m; ++i) {
+                    const size_t r = info.dim == SparsityDim::Reduction
+                        ? g : i;
+                    const size_t c = info.dim == SparsityDim::Reduction
+                        ? i : g;
+                    nnz += mask.at(br * m + r, bc * m + c);
+                }
+                if (nnz > info.n)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+validateTs(const Mask &mask, size_t n, size_t m)
+{
+    if (mask.cols() % m != 0)
+        return false;
+    for (size_t r = 0; r < mask.rows(); ++r) {
+        for (size_t t = 0; t < mask.cols(); t += m) {
+            size_t nnz = 0;
+            for (size_t i = 0; i < m; ++i)
+                nnz += mask.at(r, t + i);
+            if (nnz > n)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tbstc::core

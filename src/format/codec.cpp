@@ -1,0 +1,83 @@
+#include "codec.hpp"
+
+#include <deque>
+
+#include "util/logging.hpp"
+
+namespace tbstc::format {
+
+using util::ensure;
+
+CodecOutput
+convertToComputation(const std::vector<StorageElem> &storage,
+                     const CodecConfig &cfg)
+{
+    ensure(cfg.m > 0 && cfg.lanes > 0 && cfg.threshold > 0,
+           "invalid CodecConfig");
+    CodecOutput out;
+    out.values.reserve(storage.size());
+    out.rids.reserve(storage.size());
+    out.iids.reserve(storage.size());
+
+    std::vector<std::deque<StorageElem>> queues(cfg.m);
+    size_t cursor = 0;   // Next storage element to ingest.
+    size_t pending = storage.size();
+    size_t scan = 0;     // Round-robin output arbiter position.
+
+    auto emit = [&](const StorageElem &e) {
+        out.values.push_back(e.value);
+        out.rids.push_back(e.rid);
+        out.iids.push_back(e.iid);
+        --pending;
+    };
+
+    while (pending > 0) {
+        ++out.cycles;
+
+        // Ingest up to `lanes` elements into the Rid-indexed queues.
+        for (size_t l = 0; l < cfg.lanes && cursor < storage.size(); ++l) {
+            const StorageElem &e = storage[cursor++];
+            ensure(e.rid < cfg.m, "codec: rid out of range");
+            queues[e.rid].push_back(e);
+        }
+
+        if (cursor < storage.size()) {
+            // Steady state: the merger grants one queue per timestep,
+            // chosen round-robin among queues at or above threshold.
+            for (size_t probe = 0; probe < cfg.m; ++probe) {
+                auto &q = queues[(scan + probe) % cfg.m];
+                if (q.size() >= cfg.threshold) {
+                    for (size_t k = 0; k < cfg.threshold; ++k) {
+                        emit(q.front());
+                        q.pop_front();
+                    }
+                    scan = (scan + probe + 1) % cfg.m;
+                    break;
+                }
+            }
+        } else {
+            // Drain phase: ingest is finished, so the merger network
+            // combines leftovers across queues into full output groups
+            // (paper: "merges the remaining elements at the final
+            // timestep"). One output group per timestep.
+            size_t emitted = 0;
+            for (size_t q = 0; q < cfg.m && emitted < cfg.threshold; ++q) {
+                while (!queues[q].empty() && emitted < cfg.threshold) {
+                    emit(queues[q].front());
+                    queues[q].pop_front();
+                    ++emitted;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+passthroughCycles(size_t nnz, const CodecConfig &cfg)
+{
+    ensure(cfg.lanes > 0, "invalid CodecConfig");
+    return (nnz + cfg.lanes - 1) / cfg.lanes;
+}
+
+} // namespace tbstc::format

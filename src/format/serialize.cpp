@@ -1,0 +1,372 @@
+#include "serialize.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/fp16.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::format {
+
+using core::Mask;
+using core::Matrix;
+using core::SparsityDim;
+using core::TbsMeta;
+using util::ensure;
+using util::fatal;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x31434444; // "DDC1" little-endian.
+
+/// Blocks per offset group: the 12-bit element offset must cover a
+/// group's worth of payload, and a block holds at most M*M elements,
+/// so with M = 8 a group of 63 blocks stays under 4096 elements.
+constexpr uint32_t kDefaultGroupBlocks = 63;
+
+/** Little-endian byte writer. */
+class Writer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        u8(static_cast<uint8_t>(v));
+        u8(static_cast<uint8_t>(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u16(static_cast<uint16_t>(v));
+        u16(static_cast<uint16_t>(v >> 16));
+    }
+
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Little-endian bounds-checked reader. */
+class Reader
+{
+  public:
+    explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+    uint8_t
+    u8()
+    {
+        if (pos_ >= bytes_.size())
+            fatal("DDC stream truncated at byte {}", pos_);
+        return bytes_[pos_++];
+    }
+
+    uint16_t
+    u16()
+    {
+        const uint16_t lo = u8();
+        return static_cast<uint16_t>(lo | (u16_t(u8()) << 8));
+    }
+
+    uint32_t
+    u32()
+    {
+        const uint32_t lo = u16();
+        return lo | (static_cast<uint32_t>(u16()) << 16);
+    }
+
+    size_t pos() const { return pos_; }
+
+  private:
+    using u16_t = uint16_t;
+    std::span<const uint8_t> bytes_;
+    size_t pos_ = 0;
+};
+
+/** Bit-packer for the intra-group index stream. */
+class BitWriter
+{
+  public:
+    void
+    put(uint32_t value, unsigned bits)
+    {
+        for (unsigned b = 0; b < bits; ++b) {
+            if (bit_ == 0)
+                bytes_.push_back(0);
+            if (value & (1u << b))
+                bytes_.back() |= static_cast<uint8_t>(1u << bit_);
+            bit_ = (bit_ + 1) % 8;
+        }
+    }
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    unsigned bit_ = 0;
+};
+
+/** Bit-unpacker. */
+class BitReader
+{
+  public:
+    BitReader(std::span<const uint8_t> bytes, size_t start)
+        : bytes_(bytes), pos_(start)
+    {
+    }
+
+    uint32_t
+    get(unsigned bits)
+    {
+        uint32_t value = 0;
+        for (unsigned b = 0; b < bits; ++b) {
+            const size_t byte = pos_ + bit_ / 8;
+            if (byte >= bytes_.size())
+                fatal("DDC index stream truncated");
+            if (bytes_[byte] & (1u << (bit_ % 8)))
+                value |= 1u << b;
+            ++bit_;
+        }
+        return value;
+    }
+
+  private:
+    std::span<const uint8_t> bytes_;
+    size_t pos_;
+    size_t bit_ = 0;
+};
+
+unsigned
+idxBits(size_t m)
+{
+    unsigned bits = 0;
+    while ((1u << bits) < m)
+        ++bits;
+    return std::max(bits, 1u);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serializeDdc(const Matrix &w, const Mask &mask, const TbsMeta &meta)
+{
+    const size_t m = meta.m;
+    ensure(w.rows() == mask.rows() && w.cols() == mask.cols(),
+           "serializeDdc: shape mismatch");
+    ensure(w.rows() == meta.blockRows * m && w.cols() == meta.blockCols * m,
+           "serializeDdc: metadata grid mismatch");
+    if (m > 16)
+        fatal("serializeDdc: block size {} exceeds the format's 4-bit "
+              "intra-group index budget", m);
+
+    // Candidate ladder: the distinct Ns in use, sorted; the 3-bit
+    // ratio field indexes it.
+    std::vector<uint8_t> ladder;
+    for (const auto &b : meta.blocks)
+        ladder.push_back(b.n);
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+    if (ladder.size() > 8)
+        fatal("serializeDdc: {} distinct N values exceed the 3-bit "
+              "sparsity-ratio field", ladder.size());
+
+    const size_t blocks = meta.blocks.size();
+    const uint32_t group_blocks = kDefaultGroupBlocks;
+    const size_t groups = (blocks + group_blocks - 1) / group_blocks;
+
+    Writer out;
+    out.u32(kMagic);
+    out.u32(static_cast<uint32_t>(w.rows()));
+    out.u32(static_cast<uint32_t>(w.cols()));
+    out.u32(static_cast<uint32_t>(m));
+    out.u32(group_blocks);
+    out.u8(static_cast<uint8_t>(ladder.size()));
+    for (uint8_t n : ladder)
+        out.u8(n);
+
+    // First pass: payload sizes per block -> group bases and offsets.
+    std::vector<uint32_t> group_base(groups, 0);
+    std::vector<uint16_t> info(blocks, 0);
+    {
+        uint32_t element = 0;
+        uint32_t base = 0;
+        for (size_t b = 0; b < blocks; ++b) {
+            if (b % group_blocks == 0) {
+                base = element;
+                group_base[b / group_blocks] = base;
+            }
+            const auto &bi = meta.blocks[b];
+            const uint32_t offset = element - base;
+            ensure(offset < 4096,
+                   "serializeDdc: group offset overflow (internal)");
+            const auto ratio = static_cast<uint16_t>(
+                std::lower_bound(ladder.begin(), ladder.end(), bi.n)
+                - ladder.begin());
+            info[b] = static_cast<uint16_t>(
+                (bi.dim == SparsityDim::Independent ? 0x8000u : 0u)
+                | (ratio << 12) | offset);
+            element += static_cast<uint32_t>(bi.n) * m;
+        }
+    }
+    for (uint32_t base : group_base)
+        out.u32(base);
+    for (uint16_t i : info)
+        out.u16(i);
+
+    // Second pass: values (fp16) and packed intra-group indices, in
+    // block walk order; groups run along each block's own dimension.
+    BitWriter idx;
+    const unsigned bits = idxBits(m);
+    std::vector<uint8_t> value_bytes;
+    uint32_t emitted_values = 0;
+    for (size_t br = 0; br < meta.blockRows; ++br) {
+        for (size_t bc = 0; bc < meta.blockCols; ++bc) {
+            const auto &bi = meta.block(br, bc);
+            for (size_t g = 0; g < m; ++g) {
+                size_t count = 0;
+                for (size_t e = 0; e < m; ++e) {
+                    const size_t r =
+                        bi.dim == SparsityDim::Reduction ? g : e;
+                    const size_t c =
+                        bi.dim == SparsityDim::Reduction ? e : g;
+                    if (!mask.at(br * m + r, bc * m + c))
+                        continue;
+                    if (count >= bi.n)
+                        fatal("serializeDdc: group ({}, {})/{} holds "
+                              "more than N = {} elements — not a "
+                              "valid TBS mask", br, bc, g, bi.n);
+                    const uint16_t half = util::fp16FromFloat(
+                        w.at(br * m + r, bc * m + c));
+                    value_bytes.push_back(static_cast<uint8_t>(half));
+                    value_bytes.push_back(
+                        static_cast<uint8_t>(half >> 8));
+                    idx.put(static_cast<uint32_t>(e), bits);
+                    ++count;
+                    ++emitted_values;
+                }
+                for (; count < bi.n; ++count) {
+                    // Pad short groups (never produced by tbsMask, but
+                    // keeps the format total-function).
+                    value_bytes.push_back(0);
+                    value_bytes.push_back(0);
+                    idx.put(0, bits);
+                    ++emitted_values;
+                }
+            }
+        }
+    }
+    out.u32(emitted_values);
+    std::vector<uint8_t> bytes = out.take();
+    bytes.insert(bytes.end(), value_bytes.begin(), value_bytes.end());
+    bytes.insert(bytes.end(), idx.bytes().begin(), idx.bytes().end());
+    return bytes;
+}
+
+DdcParsed
+deserializeDdc(std::span<const uint8_t> bytes)
+{
+    Reader in(bytes);
+    if (in.u32() != kMagic)
+        fatal("deserializeDdc: bad magic");
+    const uint32_t rows = in.u32();
+    const uint32_t cols = in.u32();
+    const uint32_t m = in.u32();
+    const uint32_t group_blocks = in.u32();
+    if (m == 0 || group_blocks == 0 || rows % m != 0 || cols % m != 0)
+        fatal("deserializeDdc: invalid geometry {}x{} m={}", rows, cols,
+              m);
+
+    const uint8_t ladder_size = in.u8();
+    if (ladder_size == 0 || ladder_size > 8)
+        fatal("deserializeDdc: invalid candidate ladder size {}",
+              ladder_size);
+    std::vector<uint8_t> ladder(ladder_size);
+    for (auto &n : ladder) {
+        n = in.u8();
+        if (n > m)
+            fatal("deserializeDdc: candidate N {} exceeds M {}", n, m);
+    }
+
+    DdcParsed out;
+    out.meta.m = m;
+    out.meta.blockRows = rows / m;
+    out.meta.blockCols = cols / m;
+    const size_t blocks = out.meta.blockRows * out.meta.blockCols;
+    out.meta.blocks.resize(blocks);
+
+    const size_t groups = (blocks + group_blocks - 1) / group_blocks;
+    std::vector<uint32_t> group_base(groups);
+    for (auto &base : group_base)
+        base = in.u32();
+
+    uint32_t total_values = 0;
+    for (size_t b = 0; b < blocks; ++b) {
+        const uint16_t entry = in.u16();
+        const auto ratio = static_cast<size_t>((entry >> 12) & 0x7);
+        if (ratio >= ladder.size())
+            fatal("deserializeDdc: ratio index {} out of range", ratio);
+        core::BlockInfo &bi = out.meta.blocks[b];
+        bi.n = ladder[ratio];
+        bi.dim = entry & 0x8000 ? SparsityDim::Independent
+                                : SparsityDim::Reduction;
+        // Validate the offset chain.
+        const uint32_t offset = entry & 0x0fff;
+        const uint32_t expect = total_values
+            - group_base[b / group_blocks];
+        if (offset != expect)
+            fatal("deserializeDdc: block {} offset {} != expected {}",
+                  b, offset, expect);
+        total_values += static_cast<uint32_t>(bi.n) * m;
+    }
+
+    const uint32_t declared = in.u32();
+    if (declared != total_values)
+        fatal("deserializeDdc: payload count {} != info table total {}",
+              declared, total_values);
+
+    const size_t values_at = in.pos();
+    const size_t idx_at = values_at + size_t{total_values} * 2;
+    if (idx_at > bytes.size())
+        fatal("DDC stream truncated in values");
+    BitReader idx(bytes, idx_at);
+    const unsigned bits = idxBits(m);
+
+    out.matrix = Matrix(rows, cols);
+    out.mask = Mask(rows, cols);
+    size_t cursor = values_at;
+    for (size_t br = 0; br < out.meta.blockRows; ++br) {
+        for (size_t bc = 0; bc < out.meta.blockCols; ++bc) {
+            const auto &bi = out.meta.block(br, bc);
+            for (size_t g = 0; g < m; ++g) {
+                for (size_t k = 0; k < bi.n; ++k) {
+                    const uint16_t half = static_cast<uint16_t>(
+                        bytes[cursor] | (bytes[cursor + 1] << 8));
+                    cursor += 2;
+                    const uint32_t e = idx.get(bits);
+                    if (e >= m)
+                        fatal("deserializeDdc: intra-group index {} "
+                              "out of range", e);
+                    const size_t r =
+                        bi.dim == SparsityDim::Reduction ? g : e;
+                    const size_t c =
+                        bi.dim == SparsityDim::Reduction ? e : g;
+                    const float v = util::fp16ToFloat(half);
+                    if (half != 0) {
+                        out.matrix.at(br * m + r, bc * m + c) = v;
+                        out.mask.at(br * m + r, bc * m + c) = 1;
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tbstc::format

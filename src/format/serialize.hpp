@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Byte-exact serialization of the DDC storage format (paper Fig. 8).
+ *
+ * The DdcEncoding class models the format's costs; this module
+ * materializes the actual byte stream a DMA engine would fetch:
+ *
+ *   header      magic/version, matrix geometry, block size, the
+ *               N-candidate ladder, group size
+ *   group bases one u32 element base per group of blocks (the paper's
+ *               12-bit element offsets address within a group; bases
+ *               extend them to arbitrarily large matrices)
+ *   info table  one 16-bit entry per block:
+ *                 bit  15     sparsity dimension (0 row / 1 column)
+ *                 bits 14-12  sparsity ratio: index into the
+ *                             candidate ladder (the paper's 3-bit
+ *                             "Sparsity ratio")
+ *                 bits 11-0   element offset within the block's group
+ *   values      fp16, exactly N x M per block, group order
+ *   indices     ceil(log2 M)-bit intra-group positions, bit-packed
+ *
+ * Values are stored in fp16 (the datapath precision), so serialization
+ * round-trips fp16-rounded weights bit-exactly.
+ */
+
+#ifndef TBSTC_FORMAT_SERIALIZE_HPP
+#define TBSTC_FORMAT_SERIALIZE_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "core/pattern.hpp"
+
+namespace tbstc::format {
+
+/** Result of parsing a serialized DDC stream. */
+struct DdcParsed
+{
+    core::Matrix matrix; ///< Reconstructed (masked, fp16) matrix.
+    core::Mask mask;     ///< Kept positions.
+    core::TbsMeta meta;  ///< Per-block info recovered from the table.
+};
+
+/**
+ * Serialize a TBS-masked matrix into the DDC byte stream.
+ *
+ * @param w Weight matrix.
+ * @param mask TBS keep-mask (groups must hold exactly N elements, as
+ *     tbsMask() produces; validated).
+ * @param meta Block metadata.
+ * @note fatal() if the mask violates the metadata or the geometry
+ *     cannot be represented (e.g. more blocks than the info table's
+ *     group addressing covers).
+ */
+std::vector<uint8_t> serializeDdc(const core::Matrix &w,
+                                  const core::Mask &mask,
+                                  const core::TbsMeta &meta);
+
+/**
+ * Parse a DDC byte stream produced by serializeDdc().
+ * @note fatal() on malformed input (bad magic, truncation,
+ *     out-of-range fields).
+ */
+DdcParsed deserializeDdc(std::span<const uint8_t> bytes);
+
+} // namespace tbstc::format
+
+#endif // TBSTC_FORMAT_SERIALIZE_HPP

@@ -1,0 +1,282 @@
+#include "conv_layer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tbstc::nn {
+
+using core::Mask;
+using core::Matrix;
+using util::ensure;
+using workload::ConvSpec;
+
+Conv2dLayer::Conv2dLayer(ConvSpec spec, util::Rng &rng)
+    : spec_(std::move(spec)),
+      w_(spec_.cout, spec_.patchSize()),
+      b_(spec_.cout, 0.0f),
+      gradW_(spec_.cout, spec_.patchSize()),
+      gradB_(spec_.cout, 0.0f),
+      velocityW_(spec_.cout, spec_.patchSize()),
+      velocityB_(spec_.cout, 0.0f)
+{
+    const double he =
+        std::sqrt(2.0 / static_cast<double>(spec_.patchSize()));
+    for (auto &v : w_.data())
+        v = static_cast<float>(rng.gaussian(0.0, he));
+}
+
+Matrix
+Conv2dLayer::effectiveW() const
+{
+    return masked_ ? core::applyMask(w_, mask_) : w_;
+}
+
+void
+Conv2dLayer::setMask(Mask mask)
+{
+    ensure(mask.rows() == w_.rows() && mask.cols() == w_.cols(),
+           "Conv2dLayer::setMask shape mismatch");
+    mask_ = std::move(mask);
+    masked_ = true;
+}
+
+void
+Conv2dLayer::clearMask()
+{
+    masked_ = false;
+    mask_ = Mask();
+}
+
+Matrix
+Conv2dLayer::forward(const Matrix &x)
+{
+    ensure(x.cols() == spec_.cin * spec_.h * spec_.w,
+           "Conv2dLayer::forward input size mismatch");
+    const size_t batch = x.rows();
+    const size_t pixels = spec_.outH() * spec_.outW();
+    const Matrix w_eff = effectiveW();
+
+    Matrix y(batch, spec_.cout * pixels);
+    cols_.assign(batch, Matrix());
+    for (size_t i = 0; i < batch; ++i) {
+        cols_[i] = workload::im2col(spec_, x.row(i));
+        // y_i[c, p] = sum_k cols[p, k] * w[c, k] + b[c].
+        for (size_t p = 0; p < pixels; ++p) {
+            for (uint64_t c = 0; c < spec_.cout; ++c) {
+                double acc = b_[c];
+                for (size_t k = 0; k < w_.cols(); ++k)
+                    acc += static_cast<double>(cols_[i].at(p, k))
+                        * w_eff.at(c, k);
+                y.at(i, c * pixels + p) = static_cast<float>(acc);
+            }
+        }
+    }
+    return y;
+}
+
+Matrix
+Conv2dLayer::backward(const Matrix &dy)
+{
+    const size_t batch = cols_.size();
+    const size_t pixels = spec_.outH() * spec_.outW();
+    ensure(dy.rows() == batch
+               && dy.cols() == spec_.cout * pixels,
+           "Conv2dLayer::backward gradient shape mismatch");
+    const Matrix w_eff = effectiveW();
+
+    gradW_ = Matrix(w_.rows(), w_.cols());
+    gradB_.assign(spec_.cout, 0.0f);
+    Matrix dx(batch, spec_.cin * spec_.h * spec_.w);
+    for (size_t i = 0; i < batch; ++i) {
+        // gradW[c, k] += sum_p dy[c, p] * cols[p, k].
+        Matrix dcols(pixels, w_.cols());
+        for (uint64_t c = 0; c < spec_.cout; ++c) {
+            for (size_t p = 0; p < pixels; ++p) {
+                const float g = dy.at(i, c * pixels + p);
+                if (g == 0.0f)
+                    continue;
+                gradB_[c] += g;
+                for (size_t k = 0; k < w_.cols(); ++k) {
+                    gradW_.at(c, k) += g * cols_[i].at(p, k);
+                    dcols.at(p, k) += g * w_eff.at(c, k);
+                }
+            }
+        }
+        const auto image = workload::col2im(spec_, dcols);
+        for (size_t k = 0; k < image.size(); ++k)
+            dx.at(i, k) = image[k];
+    }
+    return dx;
+}
+
+void
+Conv2dLayer::sgdStep(double lr, double momentum, double pruned_decay)
+{
+    for (size_t i = 0; i < w_.size(); ++i) {
+        double g = gradW_.data()[i];
+        if (masked_ && pruned_decay > 0.0 && !mask_.data()[i])
+            g += pruned_decay * w_.data()[i];
+        velocityW_.data()[i] = static_cast<float>(
+            momentum * velocityW_.data()[i] - lr * g);
+        w_.data()[i] += velocityW_.data()[i];
+    }
+    for (size_t c = 0; c < b_.size(); ++c) {
+        velocityB_[c] = static_cast<float>(
+            momentum * velocityB_[c] - lr * gradB_[c]);
+        b_[c] += velocityB_[c];
+    }
+}
+
+SimpleCnn::SimpleCnn(const ConvSpec &spec1, const ConvSpec &spec2,
+                     size_t classes, util::Rng &rng)
+    : conv1_(spec1, rng),
+      conv2_(spec2, rng),
+      fcW_(classes, spec2.cout),
+      fcB_(classes, 0.0f),
+      fcGradW_(classes, spec2.cout),
+      fcGradB_(classes, 0.0f),
+      fcVelW_(classes, spec2.cout),
+      fcVelB_(classes, 0.0f)
+{
+    ensure(spec2.cin == spec1.cout && spec2.h == spec1.outH()
+               && spec2.w == spec1.outW(),
+           "SimpleCnn: conv2 must consume conv1's output shape");
+    const double he = std::sqrt(2.0 / static_cast<double>(spec2.cout));
+    for (auto &v : fcW_.data())
+        v = static_cast<float>(rng.gaussian(0.0, he));
+}
+
+Matrix
+SimpleCnn::forward(const Matrix &x)
+{
+    act1_ = conv1_.forward(x);
+    for (auto &v : act1_.data())
+        v = std::max(v, 0.0f);
+    act2_ = conv2_.forward(act1_);
+    for (auto &v : act2_.data())
+        v = std::max(v, 0.0f);
+
+    // Global average pool over each output channel.
+    const auto &s2 = conv2_.spec();
+    const size_t pixels = s2.outH() * s2.outW();
+    pooled_ = Matrix(x.rows(), s2.cout);
+    for (size_t i = 0; i < x.rows(); ++i)
+        for (uint64_t c = 0; c < s2.cout; ++c) {
+            double acc = 0.0;
+            for (size_t p = 0; p < pixels; ++p)
+                acc += act2_.at(i, c * pixels + p);
+            pooled_.at(i, c) =
+                static_cast<float>(acc / static_cast<double>(pixels));
+        }
+
+    Matrix logits(x.rows(), fcW_.rows());
+    for (size_t i = 0; i < x.rows(); ++i)
+        for (size_t k = 0; k < fcW_.rows(); ++k) {
+            double acc = fcB_[k];
+            for (size_t c = 0; c < fcW_.cols(); ++c)
+                acc += static_cast<double>(pooled_.at(i, c))
+                    * fcW_.at(k, c);
+            logits.at(i, k) = static_cast<float>(acc);
+        }
+    return logits;
+}
+
+double
+SimpleCnn::backward(const Matrix &logits,
+                    const std::vector<size_t> &labels)
+{
+    const size_t batch = logits.rows();
+    const size_t classes = logits.cols();
+    ensure(batch == labels.size(), "SimpleCnn::backward label count");
+
+    Matrix dlogits(batch, classes);
+    double loss = 0.0;
+    for (size_t i = 0; i < batch; ++i) {
+        float maxv = logits.at(i, 0);
+        for (size_t c = 1; c < classes; ++c)
+            maxv = std::max(maxv, logits.at(i, c));
+        double denom = 0.0;
+        for (size_t c = 0; c < classes; ++c)
+            denom += std::exp(
+                static_cast<double>(logits.at(i, c)) - maxv);
+        for (size_t c = 0; c < classes; ++c) {
+            const double p = std::exp(
+                static_cast<double>(logits.at(i, c)) - maxv) / denom;
+            dlogits.at(i, c) = static_cast<float>(
+                (p - (labels[i] == c ? 1.0 : 0.0))
+                / static_cast<double>(batch));
+            if (labels[i] == c)
+                loss += -std::log(std::max(p, 1e-12));
+        }
+    }
+
+    // FC backward.
+    fcGradW_ = Matrix(fcW_.rows(), fcW_.cols());
+    fcGradB_.assign(fcW_.rows(), 0.0f);
+    Matrix dpooled(batch, fcW_.cols());
+    for (size_t i = 0; i < batch; ++i) {
+        for (size_t k = 0; k < fcW_.rows(); ++k) {
+            const float g = dlogits.at(i, k);
+            fcGradB_[k] += g;
+            for (size_t c = 0; c < fcW_.cols(); ++c) {
+                fcGradW_.at(k, c) += g * pooled_.at(i, c);
+                dpooled.at(i, c) += g * fcW_.at(k, c);
+            }
+        }
+    }
+
+    // Un-pool (spread the average), then ReLU gate, then conv2/conv1.
+    const auto &s2 = conv2_.spec();
+    const size_t pixels = s2.outH() * s2.outW();
+    Matrix dact2(batch, s2.cout * pixels);
+    for (size_t i = 0; i < batch; ++i)
+        for (uint64_t c = 0; c < s2.cout; ++c)
+            for (size_t p = 0; p < pixels; ++p)
+                dact2.at(i, c * pixels + p) = act2_.at(i, c * pixels + p)
+                        > 0.0f
+                    ? dpooled.at(i, c) / static_cast<float>(pixels)
+                    : 0.0f;
+    Matrix dact1 = conv2_.backward(dact2);
+    for (size_t i = 0; i < dact1.size(); ++i)
+        if (act1_.data()[i] <= 0.0f)
+            dact1.data()[i] = 0.0f;
+    (void)conv1_.backward(dact1);
+    return loss / static_cast<double>(batch);
+}
+
+void
+SimpleCnn::sgdStep(double lr, double momentum, double pruned_decay)
+{
+    conv1_.sgdStep(lr, momentum, pruned_decay);
+    conv2_.sgdStep(lr, momentum, pruned_decay);
+    for (size_t i = 0; i < fcW_.size(); ++i) {
+        fcVelW_.data()[i] = static_cast<float>(
+            momentum * fcVelW_.data()[i] - lr * fcGradW_.data()[i]);
+        fcW_.data()[i] += fcVelW_.data()[i];
+    }
+    for (size_t k = 0; k < fcB_.size(); ++k) {
+        fcVelB_[k] = static_cast<float>(
+            momentum * fcVelB_[k] - lr * fcGradB_[k]);
+        fcB_[k] += fcVelB_[k];
+    }
+}
+
+double
+SimpleCnn::accuracy(const Matrix &x, const std::vector<size_t> &labels)
+{
+    const Matrix logits = forward(x);
+    size_t correct = 0;
+    for (size_t i = 0; i < logits.rows(); ++i) {
+        size_t best = 0;
+        for (size_t c = 1; c < logits.cols(); ++c)
+            if (logits.at(i, c) > logits.at(i, best))
+                best = c;
+        correct += best == labels[i];
+    }
+    return static_cast<double>(correct)
+        / static_cast<double>(std::max<size_t>(1, logits.rows()));
+}
+
+} // namespace tbstc::nn

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Maskable 2-D convolution layer and a small CNN.
+ *
+ * Convolutions train through the same im2col lowering the hardware
+ * uses (workload/conv.hpp): the weight tensor is a
+ * (cout x cin*kh*kw) matrix, so every sparsity pattern and pruning
+ * criterion in core/ applies to it unchanged — which is exactly how
+ * the paper prunes ResNet. SimpleCnn wires two conv layers, global
+ * average pooling and a classifier head into a trainable model for
+ * the CNN-flavoured accuracy experiments.
+ */
+
+#ifndef TBSTC_NN_CONV_LAYER_HPP
+#define TBSTC_NN_CONV_LAYER_HPP
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "util/rng.hpp"
+#include "workload/conv.hpp"
+
+namespace tbstc::nn {
+
+/** One maskable convolution layer trained via im2col. */
+class Conv2dLayer
+{
+  public:
+    Conv2dLayer(workload::ConvSpec spec, util::Rng &rng);
+
+    /**
+     * Forward a batch: @p x is (batch x cin*h*w), CHW per row;
+     * returns (batch x cout*outH*outW). Caches the unfolded columns
+     * for backward().
+     */
+    core::Matrix forward(const core::Matrix &x);
+
+    /**
+     * Backward a batch: @p dy is the loss gradient of forward()'s
+     * output; accumulates gradW/gradB and returns dL/dx.
+     */
+    core::Matrix backward(const core::Matrix &dy);
+
+    /** SGD with momentum; SR-STE decay on masked-out weights. */
+    void sgdStep(double lr, double momentum = 0.9,
+                 double pruned_decay = 0.0);
+
+    const workload::ConvSpec &spec() const { return spec_; }
+
+    core::Matrix &weights() { return w_; }
+    const core::Matrix &weights() const { return w_; }
+
+    /** Install (or clear) a sparsity mask on the lowered weights. */
+    void setMask(core::Mask mask);
+    void clearMask();
+    bool masked() const { return masked_; }
+
+    /** Effective (masked) lowered weight matrix. */
+    core::Matrix effectiveW() const;
+
+  private:
+    workload::ConvSpec spec_;
+    core::Matrix w_;  ///< cout x cin*kh*kw.
+    std::vector<float> b_;
+    core::Mask mask_;
+    bool masked_ = false;
+
+    core::Matrix gradW_;
+    std::vector<float> gradB_;
+    core::Matrix velocityW_;
+    std::vector<float> velocityB_;
+    std::vector<core::Matrix> cols_; ///< Per-sample im2col cache.
+};
+
+/**
+ * conv -> ReLU -> conv -> ReLU -> global average pool -> linear.
+ * Input images are (batch x cin*h*w) rows in CHW order.
+ */
+class SimpleCnn
+{
+  public:
+    /**
+     * @param spec1 First conv (its cin/h/w define the input).
+     * @param spec2 Second conv (must consume spec1's output shape).
+     * @param classes Output classes.
+     */
+    SimpleCnn(const workload::ConvSpec &spec1,
+              const workload::ConvSpec &spec2, size_t classes,
+              util::Rng &rng);
+
+    core::Matrix forward(const core::Matrix &x);
+    double backward(const core::Matrix &logits,
+                    const std::vector<size_t> &labels);
+    void sgdStep(double lr, double momentum = 0.9,
+                 double pruned_decay = 0.0);
+    double accuracy(const core::Matrix &x,
+                    const std::vector<size_t> &labels);
+
+    Conv2dLayer &conv1() { return conv1_; }
+    Conv2dLayer &conv2() { return conv2_; }
+
+  private:
+    Conv2dLayer conv1_;
+    Conv2dLayer conv2_;
+    core::Matrix fcW_; ///< classes x cout2.
+    std::vector<float> fcB_;
+    core::Matrix fcGradW_;
+    std::vector<float> fcGradB_;
+    core::Matrix fcVelW_;
+    std::vector<float> fcVelB_;
+
+    // Forward caches.
+    core::Matrix act1_;
+    core::Matrix act2_;
+    core::Matrix pooled_;
+};
+
+} // namespace tbstc::nn
+
+#endif // TBSTC_NN_CONV_LAYER_HPP

@@ -1,0 +1,127 @@
+#include "dataset.hpp"
+
+#include <cmath>
+
+#include "mlp.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::nn {
+
+using core::Matrix;
+using util::Rng;
+
+namespace {
+
+/** Fixed random warp: x_i += a * sin(2 * x_j + phase_i). */
+struct Warp
+{
+    std::vector<size_t> partner;
+    std::vector<double> phase;
+    double strength;
+
+    void
+    apply(std::vector<float> &x) const
+    {
+        const std::vector<float> orig = x;
+        for (size_t i = 0; i < x.size(); ++i) {
+            x[i] += static_cast<float>(
+                strength
+                * std::sin(2.0 * orig[partner[i]] + phase[i]));
+        }
+    }
+};
+
+Dataset
+sample(const DatasetConfig &cfg, const Matrix &means, const Warp &warp,
+       size_t n, Rng &rng)
+{
+    Dataset d;
+    d.classes = cfg.classes;
+    d.x = Matrix(n, cfg.features);
+    d.labels.resize(n);
+    std::vector<float> row(cfg.features);
+    for (size_t s = 0; s < n; ++s) {
+        const size_t cls = rng.below(cfg.classes);
+        d.labels[s] = cls;
+        for (size_t f = 0; f < cfg.features; ++f) {
+            row[f] = means.at(cls, f)
+                + static_cast<float>(rng.gaussian(0.0, cfg.clusterStddev));
+        }
+        warp.apply(row);
+        for (size_t f = 0; f < cfg.features; ++f)
+            d.x.at(s, f) = row[f];
+    }
+    return d;
+}
+
+} // namespace
+
+DataSplit
+makeClusterDataset(const DatasetConfig &cfg, Rng &rng)
+{
+    util::ensure(cfg.features > 0 && cfg.classes > 1,
+                 "degenerate dataset config");
+
+    // Class means on a sphere of radius ~2 so clusters overlap some.
+    Matrix means(cfg.classes, cfg.features);
+    for (size_t c = 0; c < cfg.classes; ++c) {
+        double norm = 0.0;
+        for (size_t f = 0; f < cfg.features; ++f) {
+            means.at(c, f) = static_cast<float>(rng.gaussian());
+            norm += static_cast<double>(means.at(c, f)) * means.at(c, f);
+        }
+        norm = std::sqrt(norm);
+        for (size_t f = 0; f < cfg.features; ++f)
+            means.at(c, f) =
+                static_cast<float>(means.at(c, f) / norm * 2.0);
+    }
+
+    Warp warp;
+    warp.strength = cfg.warpStrength;
+    warp.partner.resize(cfg.features);
+    warp.phase.resize(cfg.features);
+    for (size_t f = 0; f < cfg.features; ++f) {
+        warp.partner[f] = rng.below(cfg.features);
+        warp.phase[f] = rng.uniform(0.0, 6.283185307179586);
+    }
+
+    DataSplit split;
+    split.train = sample(cfg, means, warp, cfg.trainSamples, rng);
+    split.test = sample(cfg, means, warp, cfg.testSamples, rng);
+    return split;
+}
+
+DataSplit
+makeTeacherDataset(const TeacherConfig &cfg, Rng &rng)
+{
+    util::ensure(cfg.features > 0 && cfg.classes > 1,
+                 "degenerate teacher config");
+    Mlp teacher({cfg.features, cfg.teacherHidden, cfg.teacherHidden,
+                 cfg.classes},
+                rng);
+
+    auto sample = [&](size_t n) {
+        Dataset d;
+        d.classes = cfg.classes;
+        d.x = Matrix(n, cfg.features);
+        for (float &v : d.x.data())
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        const Matrix logits = teacher.forward(d.x);
+        d.labels.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            size_t best = 0;
+            for (size_t c = 1; c < cfg.classes; ++c)
+                if (logits.at(i, c) > logits.at(i, best))
+                    best = c;
+            d.labels[i] = best;
+        }
+        return d;
+    };
+
+    DataSplit split;
+    split.train = sample(cfg.trainSamples);
+    split.test = sample(cfg.testSamples);
+    return split;
+}
+
+} // namespace tbstc::nn

@@ -1,0 +1,241 @@
+#include "mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace tbstc::nn {
+
+using core::Mask;
+using core::Matrix;
+using util::ensure;
+
+namespace {
+
+/** C = A (batch x in) * W^T (in x out) -> batch x out. */
+Matrix
+gemmNT(const Matrix &a, const Matrix &w)
+{
+    ensure(a.cols() == w.cols(), "gemmNT shape mismatch");
+    Matrix c(a.rows(), w.rows());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        for (size_t o = 0; o < w.rows(); ++o) {
+            double sum = 0.0;
+            for (size_t k = 0; k < a.cols(); ++k)
+                sum += static_cast<double>(a.at(i, k)) * w.at(o, k);
+            c.at(i, o) = static_cast<float>(sum);
+        }
+    }
+    return c;
+}
+
+/** C = D^T (out x batch) * X (batch x in) -> out x in. */
+Matrix
+gemmTN(const Matrix &d, const Matrix &x)
+{
+    ensure(d.rows() == x.rows(), "gemmTN shape mismatch");
+    Matrix c(d.cols(), x.cols());
+    for (size_t b = 0; b < d.rows(); ++b) {
+        for (size_t o = 0; o < d.cols(); ++o) {
+            const float dv = d.at(b, o);
+            if (dv == 0.0f)
+                continue;
+            for (size_t k = 0; k < x.cols(); ++k)
+                c.at(o, k) += dv * x.at(b, k);
+        }
+    }
+    return c;
+}
+
+/** C = D (batch x out) * W (out x in) -> batch x in. */
+Matrix
+gemmNN(const Matrix &d, const Matrix &w)
+{
+    ensure(d.cols() == w.rows(), "gemmNN shape mismatch");
+    Matrix c(d.rows(), w.cols());
+    for (size_t b = 0; b < d.rows(); ++b) {
+        for (size_t o = 0; o < d.cols(); ++o) {
+            const float dv = d.at(b, o);
+            if (dv == 0.0f)
+                continue;
+            for (size_t k = 0; k < w.cols(); ++k)
+                c.at(b, k) += dv * w.at(o, k);
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+Matrix
+LinearLayer::effectiveW() const
+{
+    if (!masked)
+        return w;
+    return core::applyMask(w, mask);
+}
+
+Mlp::Mlp(const std::vector<size_t> &dims, util::Rng &rng)
+{
+    ensure(dims.size() >= 2, "Mlp needs at least input and output dims");
+    for (size_t l = 0; l + 1 < dims.size(); ++l) {
+        LinearLayer layer;
+        layer.w = Matrix(dims[l + 1], dims[l]);
+        layer.b.assign(dims[l + 1], 0.0f);
+        const double he =
+            std::sqrt(2.0 / static_cast<double>(dims[l]));
+        for (size_t i = 0; i < layer.w.size(); ++i)
+            layer.w.data()[i] =
+                static_cast<float>(rng.gaussian(0.0, he));
+        layers_.push_back(std::move(layer));
+        velocityW_.emplace_back(dims[l + 1], dims[l]);
+        velocityB_.emplace_back(dims[l + 1], 0.0f);
+    }
+    activations_.resize(layers_.size());
+}
+
+Matrix
+Mlp::forward(const Matrix &x)
+{
+    Matrix h = x;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        LinearLayer &layer = layers_[l];
+        layer.lastInput = h;
+        Matrix z = gemmNT(h, layer.effectiveW());
+        for (size_t b = 0; b < z.rows(); ++b)
+            for (size_t o = 0; o < z.cols(); ++o)
+                z.at(b, o) += layer.b[o];
+        if (l + 1 < layers_.size()) {
+            for (float &v : z.data())
+                v = std::max(v, 0.0f);
+        }
+        activations_[l] = z;
+        h = std::move(z);
+    }
+    return h;
+}
+
+double
+Mlp::backward(const Matrix &logits, const std::vector<size_t> &labels)
+{
+    ensure(logits.rows() == labels.size(),
+           "backward: one label per batch row");
+    const size_t batch = logits.rows();
+    const size_t classes = logits.cols();
+
+    // Softmax cross-entropy gradient and loss.
+    Matrix d(batch, classes);
+    double loss_sum = 0.0;
+    for (size_t b = 0; b < batch; ++b) {
+        float maxv = logits.at(b, 0);
+        for (size_t c = 1; c < classes; ++c)
+            maxv = std::max(maxv, logits.at(b, c));
+        double denom = 0.0;
+        for (size_t c = 0; c < classes; ++c)
+            denom += std::exp(static_cast<double>(logits.at(b, c)) - maxv);
+        for (size_t c = 0; c < classes; ++c) {
+            const double p =
+                std::exp(static_cast<double>(logits.at(b, c)) - maxv)
+                / denom;
+            d.at(b, c) = static_cast<float>(
+                (p - (labels[b] == c ? 1.0 : 0.0))
+                / static_cast<double>(batch));
+            if (labels[b] == c)
+                loss_sum += -std::log(std::max(p, 1e-12));
+        }
+    }
+
+    for (size_t li = layers_.size(); li-- > 0;) {
+        LinearLayer &layer = layers_[li];
+        layer.gradW = gemmTN(d, layer.lastInput);
+        layer.gradB.assign(layer.w.rows(), 0.0f);
+        for (size_t b = 0; b < d.rows(); ++b)
+            for (size_t o = 0; o < d.cols(); ++o)
+                layer.gradB[o] += d.at(b, o);
+        if (li > 0) {
+            Matrix dprev = gemmNN(d, layer.effectiveW());
+            // ReLU derivative w.r.t. the previous layer's output.
+            const Matrix &act = activations_[li - 1];
+            for (size_t i = 0; i < dprev.size(); ++i)
+                if (act.data()[i] <= 0.0f)
+                    dprev.data()[i] = 0.0f;
+            d = std::move(dprev);
+        }
+    }
+    return loss_sum / static_cast<double>(batch);
+}
+
+void
+Mlp::sgdStep(double lr, double momentum, double prunedDecay)
+{
+    for (size_t li = 0; li < layers_.size(); ++li) {
+        LinearLayer &layer = layers_[li];
+        Matrix &vw = velocityW_[li];
+        for (size_t i = 0; i < layer.w.size(); ++i) {
+            double g = layer.gradW.data()[i];
+            if (layer.masked && prunedDecay > 0.0
+                && !layer.mask.data()[i]) {
+                // SR-STE: decay pruned weights toward zero so the mask
+                // and the dense weights agree at convergence.
+                g += prunedDecay * layer.w.data()[i];
+            }
+            vw.data()[i] = static_cast<float>(
+                momentum * vw.data()[i] - lr * g);
+            layer.w.data()[i] += vw.data()[i];
+        }
+        auto &vb = velocityB_[li];
+        for (size_t o = 0; o < layer.b.size(); ++o) {
+            vb[o] = static_cast<float>(
+                momentum * vb[o] - lr * layer.gradB[o]);
+            layer.b[o] += vb[o];
+        }
+    }
+}
+
+double
+Mlp::accuracy(const Matrix &x, const std::vector<size_t> &labels)
+{
+    const Matrix logits = forward(x);
+    size_t correct = 0;
+    for (size_t b = 0; b < logits.rows(); ++b) {
+        size_t best = 0;
+        for (size_t c = 1; c < logits.cols(); ++c)
+            if (logits.at(b, c) > logits.at(b, best))
+                best = c;
+        correct += best == labels[b];
+    }
+    return static_cast<double>(correct)
+        / static_cast<double>(std::max<size_t>(1, logits.rows()));
+}
+
+double
+Mlp::loss(const Matrix &x, const std::vector<size_t> &labels)
+{
+    const Matrix logits = forward(x);
+    double loss_sum = 0.0;
+    for (size_t b = 0; b < logits.rows(); ++b) {
+        float maxv = logits.at(b, 0);
+        for (size_t c = 1; c < logits.cols(); ++c)
+            maxv = std::max(maxv, logits.at(b, c));
+        double denom = 0.0;
+        for (size_t c = 0; c < logits.cols(); ++c)
+            denom +=
+                std::exp(static_cast<double>(logits.at(b, c)) - maxv);
+        const double p = std::exp(
+            static_cast<double>(logits.at(b, labels[b])) - maxv) / denom;
+        loss_sum += -std::log(std::max(p, 1e-12));
+    }
+    return loss_sum / static_cast<double>(std::max<size_t>(1, x.rows()));
+}
+
+void
+Mlp::clearMasks()
+{
+    for (auto &layer : layers_) {
+        layer.masked = false;
+        layer.mask = Mask();
+    }
+}
+
+} // namespace tbstc::nn

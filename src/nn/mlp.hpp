@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A minimal MLP with maskable linear layers and SGD training.
+ *
+ * The sparse-training loop (paper Sec. III-B1) masks weights in the
+ * forward pass, back-propagates through the masked weights
+ * (straight-through to the dense copy), and optionally applies SR-STE
+ * style decay that pushes pruned weights toward zero so the dense and
+ * masked weights converge — "these weights are as close as possible
+ * after training".
+ */
+
+#ifndef TBSTC_NN_MLP_HPP
+#define TBSTC_NN_MLP_HPP
+
+#include <vector>
+
+#include "core/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace tbstc::nn {
+
+/** One fully connected layer (weights out x in) with optional mask. */
+struct LinearLayer
+{
+    core::Matrix w;    ///< Dense weights, out x in.
+    std::vector<float> b;
+    core::Mask mask;   ///< Keep mask; empty => dense.
+    bool masked = false;
+
+    // Training scratch (populated by forward/backward).
+    core::Matrix lastInput;  ///< batch x in.
+    core::Matrix gradW;      ///< out x in.
+    std::vector<float> gradB;
+
+    /** Effective (masked) weight matrix. */
+    core::Matrix effectiveW() const;
+};
+
+/** Multi-layer perceptron with ReLU activations between layers. */
+class Mlp
+{
+  public:
+    /**
+     * @param dims Layer widths, e.g. {32, 128, 128, 10}:
+     *     input -> hidden... -> classes.
+     * @param rng Weight initialization stream (He init).
+     */
+    Mlp(const std::vector<size_t> &dims, util::Rng &rng);
+
+    /** Logits for a batch (batch x input -> batch x classes). */
+    core::Matrix forward(const core::Matrix &x);
+
+    /**
+     * Backward from softmax cross-entropy.
+     * @param logits Output of the matching forward() call.
+     * @param labels One class per batch row.
+     * @return Mean cross-entropy loss of the batch.
+     */
+    double backward(const core::Matrix &logits,
+                    const std::vector<size_t> &labels);
+
+    /**
+     * SGD with momentum on the dense weights.
+     * @param lr Learning rate.
+     * @param momentum Momentum coefficient.
+     * @param prunedDecay SR-STE decay applied to masked-out weights.
+     */
+    void sgdStep(double lr, double momentum = 0.9,
+                 double prunedDecay = 0.0);
+
+    /** Fraction of correct argmax predictions. */
+    double accuracy(const core::Matrix &x,
+                    const std::vector<size_t> &labels);
+
+    /** Mean cross-entropy on a dataset (no gradient). */
+    double loss(const core::Matrix &x, const std::vector<size_t> &labels);
+
+    std::vector<LinearLayer> &layers() { return layers_; }
+    const std::vector<LinearLayer> &layers() const { return layers_; }
+
+    /** Clear all masks (dense model). */
+    void clearMasks();
+
+  private:
+    std::vector<LinearLayer> layers_;
+    std::vector<core::Matrix> activations_; ///< Post-ReLU per layer.
+    std::vector<core::Matrix> velocityW_;
+    std::vector<std::vector<float>> velocityB_;
+};
+
+} // namespace tbstc::nn
+
+#endif // TBSTC_NN_MLP_HPP

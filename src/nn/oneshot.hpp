@@ -1,0 +1,44 @@
+/**
+ * @file
+ * One-shot pruning of a trained model (paper Table II).
+ *
+ * The paper prunes OPT-6.7B/Llama2-7B with Wanda and SparseGPT under
+ * each sparsity pattern and measures zero-shot accuracy. We run the
+ * same criteria — real Wanda scores and a real SparseGPT OBS pass with
+ * weight compensation — on a trained MLP and a calibration batch, and
+ * report accuracy per pattern.
+ */
+
+#ifndef TBSTC_NN_ONESHOT_HPP
+#define TBSTC_NN_ONESHOT_HPP
+
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "core/prune.hpp"
+#include "mlp.hpp"
+
+namespace tbstc::nn {
+
+/** One-shot pruning configuration. */
+struct OneshotConfig
+{
+    core::Pattern pattern = core::Pattern::TBS;
+    core::Criterion criterion = core::Criterion::Wanda;
+    double sparsity = 0.5;
+    size_t m = 8;
+    std::vector<uint8_t> candidates; ///< Empty => defaultCandidates(m).
+    bool obsCompensation = true;     ///< Weight update for SparseGPT.
+};
+
+/**
+ * Prune @p model in place with @p cfg, using @p calib_x (a batch of
+ * inputs) to derive per-layer activation statistics. Only hidden
+ * layers are pruned (see maskableLayers()).
+ */
+void oneshotPrune(Mlp &model, const core::Matrix &calib_x,
+                  const OneshotConfig &cfg);
+
+} // namespace tbstc::nn
+
+#endif // TBSTC_NN_ONESHOT_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * End-to-end sparse training (paper Sec. III-B1, Fig. 18, Table I).
+ *
+ * Trains a model from scratch while masking hidden-layer weights with
+ * a sparsity pattern regenerated from the live weights every epoch.
+ * Sparsity ramps from 0 to the target over the first epochs (the
+ * "sparsity variation" curve marked in Fig. 18), and SR-STE decay
+ * pulls pruned weights toward zero so dense and masked weights agree
+ * at convergence.
+ */
+
+#ifndef TBSTC_NN_SPARSE_TRAIN_HPP
+#define TBSTC_NN_SPARSE_TRAIN_HPP
+
+#include <vector>
+
+#include "core/pattern.hpp"
+#include "dataset.hpp"
+#include "mlp.hpp"
+
+namespace tbstc::nn {
+
+/** Sparse-training hyper-parameters. */
+struct TrainConfig
+{
+    core::Pattern pattern = core::Pattern::Dense;
+    double sparsity = 0.5;
+    size_t m = 8;
+    std::vector<uint8_t> candidates; ///< Empty => defaultCandidates(m).
+
+    size_t epochs = 30;
+    size_t batch = 128;
+    double lr = 0.05;
+    double momentum = 0.9;
+    double prunedDecay = 2e-4; ///< SR-STE decay on masked-out weights.
+    size_t rampEpochs = 10;    ///< Epochs to reach target sparsity.
+};
+
+/** Per-epoch training telemetry. */
+struct EpochStats
+{
+    double trainLoss = 0.0;
+    double testAccuracy = 0.0;
+    double sparsity = 0.0; ///< Realized mask sparsity this epoch.
+};
+
+/** Whole-run result. */
+struct TrainResult
+{
+    std::vector<EpochStats> history;
+    double finalAccuracy = 0.0;
+};
+
+/**
+ * Indices of the layers that get masked: every hidden layer. The
+ * first (stem) and last (classifier) layers stay dense, matching the
+ * paper's "all layers are pruned except the stem layer and the final
+ * fully-connected layer".
+ */
+std::vector<size_t> maskableLayers(const Mlp &model);
+
+/**
+ * Regenerate pattern masks on @p model from current weight magnitudes
+ * at the given sparsity; returns the realized overall sparsity of the
+ * maskable weights.
+ */
+double applyPatternMasks(Mlp &model, const TrainConfig &cfg,
+                         double sparsity);
+
+/** Train @p model on @p data under @p cfg. */
+TrainResult sparseTrain(Mlp &model, const DataSplit &data,
+                        const TrainConfig &cfg, util::Rng &rng);
+
+} // namespace tbstc::nn
+
+#endif // TBSTC_NN_SPARSE_TRAIN_HPP

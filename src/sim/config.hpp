@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Architecture configuration for the cycle-level simulator.
+ *
+ * The default values mirror the paper's evaluation setup (Sec. VII-A1):
+ * 8 DVPE arrays x (2 x 8) DVPEs x 8 FP16 multipliers = 1024 MACs/cycle
+ * at 1 GHz, with 64 GB/s off-chip bandwidth. Feature flags select which
+ * of TB-STC's mechanisms an accelerator variant possesses; clearing
+ * them produces the paper's baselines and ablations.
+ */
+
+#ifndef TBSTC_SIM_CONFIG_HPP
+#define TBSTC_SIM_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tbstc::sim {
+
+/** Inter-block scheduling policy (paper Fig. 11(a)/(b)). */
+enum class InterSched : uint8_t
+{
+    Naive, ///< Wave dispatch: a batch of PEs stalls on its slowest block.
+    Aware, ///< Sparsity-aware scheduling unit with block buffering.
+};
+
+/** Intra-block mapping policy (paper Fig. 11(c)/(d)). */
+enum class IntraMap : uint8_t
+{
+    Naive,  ///< One block group per pipeline beat; idle lanes stall.
+    Packed, ///< Elements of different groups packed into full beats.
+};
+
+/** Hardware geometry and feature set of one accelerator variant. */
+struct ArchConfig
+{
+    // --- Geometry (defaults: paper Sec. VII-A1) ---
+    size_t dvpeArrays = 8;      ///< DVPE arrays.
+    size_t dvpesPerArray = 16;  ///< 2 x 8 DVPEs per array.
+    size_t lanesPerDvpe = 8;    ///< FP16 multipliers per DVPE.
+    double clockGhz = 1.0;      ///< Core clock.
+    double dramGbps = 64.0;     ///< Off-chip bandwidth (GB/s).
+    size_t onchipKb = 256;      ///< Double-buffered on-chip SRAM.
+
+    // --- Feature flags ---
+    bool codecUnit = true;      ///< Adaptive codec (Sec. V-B).
+    bool mbdUnit = true;        ///< Matrix-B distribution unit.
+    bool alternateUnit = true;  ///< DVPE output alternate buffer.
+    InterSched interSched = InterSched::Aware;
+    IntraMap intraMap = IntraMap::Packed;
+
+    /**
+     * Scheduling-unit lookahead in blocks (the paper's unit loads at
+     * most two blocks per cycle and buffers light blocks for merging).
+     */
+    size_t schedLookahead = 8;
+
+    // --- Per-op energy scaling of the datapath ---
+    /**
+     * Multiplier on compute energy relative to the TB-STC datapath.
+     * RM-STC's gather/union modules and SIGMA's FAN pay >1 here
+     * (paper Fig. 6(d) / Sec. VII-E2).
+     */
+    double computeEnergyScale = 1.0;
+
+    /** Extra static power (W) for always-on irregularity hardware. */
+    double extraStaticW = 0.0;
+
+    /**
+     * Multiplier on compute beats relative to the structured TB-STC
+     * datapath. Element-granular pipelines (RM-STC row merging,
+     * SGCN's feature decompression) pay >1 here.
+     */
+    double beatOverheadScale = 1.0;
+
+    /**
+     * Element-granular datapath (RM-STC, SGCN): lanes are fed from an
+     * element stream, so work never quantizes to whole block beats —
+     * at the cost of the beatOverheadScale/energy penalties above.
+     */
+    bool elementGranular = false;
+
+    /** Total multipliers (peak MACs per cycle). */
+    size_t
+    totalLanes() const
+    {
+        return dvpeArrays * dvpesPerArray * lanesPerDvpe;
+    }
+
+    /** Total DVPEs (the scheduler's PE count). */
+    size_t
+    totalDvpes() const
+    {
+        return dvpeArrays * dvpesPerArray;
+    }
+
+    /** Off-chip bytes deliverable per core cycle. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramGbps / clockGhz;
+    }
+};
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_CONFIG_HPP

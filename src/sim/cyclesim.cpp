@@ -1,0 +1,146 @@
+#include "cyclesim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "dram.hpp"
+#include "dvpe.hpp"
+#include "scheduler.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::sim {
+
+namespace {
+
+/// Codec drain margin per converted block, matching pipeline.cpp.
+constexpr double kCodecTailCycles = 2.0;
+
+/** Per-tile precomputed stage durations. */
+struct TileWork
+{
+    double fetchCycles = 0.0;   ///< Bus time for this tile's A (+B share).
+    double codecCycles = 0.0;   ///< Converter time for this tile.
+    double computeCycles = 0.0; ///< DVPE makespan x nb.
+};
+
+} // namespace
+
+CycleSimResult
+simulateLayerEventDriven(const LayerProfile &layer, const ArchConfig &cfg,
+                         const CycleSimOptions &opts)
+{
+    util::ensure(opts.tileBlocks > 0, "tileBlocks must be positive");
+    const size_t blocks = layer.blocks.size();
+    const size_t tiles =
+        std::max<size_t>(1, (blocks + opts.tileBlocks - 1)
+                                / opts.tileBlocks);
+    const double scale = layer.sampleScale;
+    const DramModel dram(cfg);
+
+    // Whole-layer A transfer, split proportionally per tile; the
+    // per-run burst/segment behaviour is already inside the stream's
+    // bus-cycle total.
+    DramTransfer a = dram.stream(layer.aStream);
+    double a_scale = scale;
+    if (opts.int8Weights)
+        a_scale *= 0.58; // Matches the analytic model's A shrink.
+    const double a_cycles_total = a.cycles * a_scale;
+    const double b_cycles_total =
+        dram.streamContiguous(layer.y * layer.nb * 2).cycles;
+    const double d_cycles_total =
+        dram.streamContiguous(layer.x * layer.nb * 2).cycles;
+
+    const double converters = std::max(
+        cfg.dramBytesPerCycle() / 4.0,
+        static_cast<double>(cfg.dvpeArrays));
+    const double beat_divisor =
+        (cfg.elementGranular ? static_cast<double>(cfg.lanesPerDvpe)
+                             : 1.0)
+        * (opts.int8Weights ? 2.0 : 1.0);
+
+    // Whole-stream schedule: the DVPE array never drains between
+    // tiles (the scheduling unit keeps feeding), so total compute time
+    // comes from one schedule of all blocks and is apportioned to
+    // tiles by their share of the busy beats.
+    std::vector<uint64_t> all_costs;
+    all_costs.reserve(blocks);
+    for (const BlockTask &task : layer.blocks)
+        all_costs.push_back(cfg.elementGranular ? task.nnz
+                                                : blockBeats(task, cfg));
+    const ScheduleResult whole = scheduleBlocks(
+        all_costs, cfg.totalDvpes(), cfg.interSched, cfg.schedLookahead);
+    const double compute_total = static_cast<double>(whole.makespan)
+        * static_cast<double>(layer.nb) * scale
+        * cfg.beatOverheadScale / beat_divisor;
+    const double busy_total = std::max(1.0, whole.busyBeats);
+
+    // Precompute per-tile work.
+    std::vector<TileWork> work(tiles);
+    for (size_t t = 0; t < tiles; ++t) {
+        const size_t b0 = t * opts.tileBlocks;
+        const size_t b1 = std::min(b0 + opts.tileBlocks, blocks);
+        double codec_raw = 0.0;
+        double busy = 0.0;
+        for (size_t b = b0; b < b1; ++b) {
+            const BlockTask &task = layer.blocks[b];
+            busy += static_cast<double>(all_costs[b]);
+            if (task.independentDim && cfg.codecUnit && task.nnz > 0)
+                codec_raw += static_cast<double>((task.nnz + 1) / 2)
+                    + kCodecTailCycles;
+        }
+        const double share =
+            static_cast<double>(b1 - b0) / static_cast<double>(blocks);
+        work[t].fetchCycles = (a_cycles_total + b_cycles_total) * share;
+        work[t].codecCycles = codec_raw * scale / converters;
+        work[t].computeCycles = compute_total * busy / busy_total;
+    }
+
+    // Event timeline. Resources: one memory bus (fetch has priority;
+    // writeback drains through bus idle slots), one codec complex, one
+    // DVPE array. Double buffering: tile t's fetch may start once tile
+    // t-2's compute has retired (its buffer slot is free).
+    CycleSimResult res;
+    res.tiles = tiles;
+    std::vector<double> fetch_done(tiles, 0.0);
+    std::vector<double> compute_done(tiles, 0.0);
+    double fetch_free = 0.0;
+    double codec_free = 0.0;
+    double compute_free = 0.0;
+    double fetch_busy_total = 0.0;
+
+    for (size_t t = 0; t < tiles; ++t) {
+        const double buffer_ready =
+            t >= 2 ? compute_done[t - 2] : 0.0;
+        const double fetch_start = std::max(fetch_free, buffer_ready);
+        fetch_done[t] = fetch_start + work[t].fetchCycles;
+        fetch_free = fetch_done[t];
+        fetch_busy_total += work[t].fetchCycles;
+
+        const double codec_start =
+            std::max(fetch_done[t], codec_free);
+        const double codec_done = codec_start + work[t].codecCycles;
+        codec_free = codec_done;
+        res.codecBusy += work[t].codecCycles;
+
+        const double compute_start =
+            std::max(codec_done, compute_free);
+        compute_done[t] = compute_start + work[t].computeCycles;
+        compute_free = compute_done[t];
+        res.computeBusy += work[t].computeCycles;
+    }
+
+    // Writeback shares the bus at lower priority: the run cannot end
+    // before (a) the last tile computes, (b) the bus has carried all
+    // fetch + writeback bytes, and (c) the final tile's writeback
+    // share drains after its compute retires.
+    const double wb_per_tile =
+        d_cycles_total / static_cast<double>(tiles);
+    res.busBusy = fetch_busy_total + d_cycles_total;
+    res.cycles = std::max({compute_done[tiles - 1] + wb_per_tile,
+                           fetch_done[tiles - 1], res.busBusy});
+    return res;
+}
+
+} // namespace tbstc::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Event-driven cycle simulator of the TB-STC tile pipeline.
+ *
+ * simulateLayer() (pipeline.hpp) uses closed-form overlap between the
+ * fetch, codec, compute and writeback stages. This module simulates
+ * the same pipeline explicitly: the layer is cut into tiles of A
+ * blocks; a double-buffered fetch engine competes with writeback for
+ * the one memory bus; the codec converts each tile after it lands;
+ * the DVPE array starts a tile once it is decoded and its predecessor
+ * retired. Stage occupancies and the exact end-to-end cycle count
+ * fall out of the event timeline.
+ *
+ * The analytic model is the fast path (benches sweep thousands of
+ * configurations); this simulator is the reference that bounds its
+ * error — see tests/test_sim_cyclesim.cpp.
+ */
+
+#ifndef TBSTC_SIM_CYCLESIM_HPP
+#define TBSTC_SIM_CYCLESIM_HPP
+
+#include "config.hpp"
+#include "profile.hpp"
+
+namespace tbstc::sim {
+
+/** Outcome of one event-driven run. */
+struct CycleSimResult
+{
+    double cycles = 0.0;        ///< End-to-end cycles.
+    double busBusy = 0.0;       ///< Memory-bus occupied cycles.
+    double codecBusy = 0.0;     ///< Codec-converter occupied cycles.
+    double computeBusy = 0.0;   ///< DVPE-array occupied cycles.
+    size_t tiles = 0;           ///< Pipeline stages executed.
+
+    /** Fraction of the run the DVPE array was computing. */
+    double
+    computeOccupancy() const
+    {
+        return cycles > 0.0 ? computeBusy / cycles : 0.0;
+    }
+
+    /** Fraction of the run the memory bus was transferring. */
+    double
+    busOccupancy() const
+    {
+        return cycles > 0.0 ? busBusy / cycles : 0.0;
+    }
+};
+
+/** Tunables of the event-driven run. */
+struct CycleSimOptions
+{
+    size_t tileBlocks = 512; ///< A blocks per pipeline tile.
+    bool int8Weights = false;
+};
+
+/**
+ * Run the event-driven tile pipeline for one layer.
+ *
+ * @param layer Block-granular layer description (same input as the
+ *     analytic simulateLayer()).
+ * @param cfg Architecture configuration.
+ * @param opts Tile size and datapath options.
+ */
+CycleSimResult simulateLayerEventDriven(const LayerProfile &layer,
+                                        const ArchConfig &cfg,
+                                        const CycleSimOptions &opts = {});
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_CYCLESIM_HPP

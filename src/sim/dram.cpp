@@ -1,0 +1,60 @@
+#include "dram.hpp"
+
+#include "util/logging.hpp"
+
+namespace tbstc::sim {
+
+using util::ensure;
+
+DramModel::DramModel(const ArchConfig &cfg, uint64_t burst_bytes,
+                     uint64_t segment_overhead_bytes)
+    : cfg_(cfg), burst_(burst_bytes), segOverhead_(segment_overhead_bytes)
+{
+    ensure(burst_ > 0, "DRAM burst size must be positive");
+}
+
+DramTransfer
+DramModel::fromSegments(uint64_t payload, uint64_t useful,
+                        uint64_t segments) const
+{
+    DramTransfer t;
+    t.usefulBytes = useful;
+    if (payload == 0)
+        return t;
+    ensure(segments > 0, "non-empty stream needs segments");
+
+    // Each contiguous run transfers whole bursts (the tail burst is
+    // padded) and pays the activation/command overhead once. Runs are
+    // modelled at their average length; the burst round-up is applied
+    // per run.
+    const double avg_len =
+        static_cast<double>(payload) / static_cast<double>(segments);
+    const double bursts_per_run =
+        static_cast<double>(
+            (static_cast<uint64_t>(avg_len) + burst_ - 1) / burst_);
+    const double run_bytes = bursts_per_run * static_cast<double>(burst_)
+        + static_cast<double>(segOverhead_);
+    t.busBytes =
+        static_cast<uint64_t>(run_bytes * static_cast<double>(segments));
+    t.cycles =
+        static_cast<double>(t.busBytes) / cfg_.dramBytesPerCycle();
+    return t;
+}
+
+DramTransfer
+DramModel::stream(const format::StreamProfile &profile) const
+{
+    // Padding/duplicated bytes cross the bus but are not useful.
+    return fromSegments(profile.payloadBytes, profile.usefulBytes,
+                        profile.segments);
+}
+
+DramTransfer
+DramModel::streamContiguous(uint64_t bytes) const
+{
+    if (bytes == 0)
+        return {};
+    return fromSegments(bytes, bytes, 1);
+}
+
+} // namespace tbstc::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Off-chip DRAM channel model.
+ *
+ * Substitutes Ramulator/DRAMPower (see DESIGN.md): the observable the
+ * paper's storage-format study depends on is how access *contiguity*
+ * and *redundancy* translate into delivered bandwidth. The channel
+ * transfers fixed-size bursts; every new contiguous run pays a
+ * row-activation/command overhead, and partial bursts waste bus slots.
+ * Bandwidth utilisation is useful bytes over bus-occupied bytes.
+ */
+
+#ifndef TBSTC_SIM_DRAM_HPP
+#define TBSTC_SIM_DRAM_HPP
+
+#include <cstdint>
+
+#include "config.hpp"
+#include "format/encoding.hpp"
+
+namespace tbstc::sim {
+
+/** Result of streaming one byte stream through the channel. */
+struct DramTransfer
+{
+    uint64_t busBytes = 0;    ///< Bus slots occupied (incl. waste).
+    uint64_t usefulBytes = 0; ///< Bytes the consumer actually needed.
+    double cycles = 0.0;      ///< Core cycles the transfer occupies.
+
+    /** Delivered fraction of peak bandwidth spent on useful bytes. */
+    double
+    utilisation() const
+    {
+        return busBytes == 0
+            ? 1.0
+            : static_cast<double>(usefulBytes) / busBytes;
+    }
+};
+
+/** Burst-granular DRAM channel. */
+class DramModel
+{
+  public:
+    /**
+     * @param cfg Architecture (peak bandwidth, clock).
+     * @param burst_bytes Burst size (default 32 B).
+     * @param segment_overhead_bytes Bus-slot equivalent of the
+     *     activate/command latency paid on each new contiguous run
+     *     (default 8 B; short runs are additionally burst-padded).
+     */
+    explicit DramModel(const ArchConfig &cfg, uint64_t burst_bytes = 32,
+                       uint64_t segment_overhead_bytes = 8);
+
+    /** Stream an encoded matrix walk (paper Fig. 7 experiment). */
+    DramTransfer stream(const format::StreamProfile &profile) const;
+
+    /** Stream a fully contiguous transfer of @p bytes useful bytes. */
+    DramTransfer streamContiguous(uint64_t bytes) const;
+
+    uint64_t burstBytes() const { return burst_; }
+
+  private:
+    DramTransfer fromSegments(uint64_t payload, uint64_t useful,
+                              uint64_t segments) const;
+
+    ArchConfig cfg_;
+    uint64_t burst_;
+    uint64_t segOverhead_;
+};
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_DRAM_HPP

@@ -1,0 +1,110 @@
+#include "dram_detail.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace tbstc::sim {
+
+using util::ensure;
+
+DramSim::DramSim(const ArchConfig &cfg, DramTimings timings)
+    : cfg_(cfg), timings_(timings)
+{
+    ensure(timings_.banks > 0 && timings_.rowBytes > 0
+               && timings_.burstBytes > 0,
+           "invalid DramTimings");
+}
+
+DramSimResult
+DramSim::serveTrace(std::span<const DramRequest> reqs) const
+{
+    DramSimResult res;
+    // Per-bank state: the open row (-1 = closed) and when the bank can
+    // accept its next column command.
+    std::vector<int64_t> open_row(timings_.banks, -1);
+    std::vector<double> bank_ready(timings_.banks, 0.0);
+
+    // Data-bus transfer time of one burst at the configured bandwidth.
+    const double burst_cycles =
+        static_cast<double>(timings_.burstBytes)
+        / cfg_.dramBytesPerCycle();
+    double bus_free = 0.0;
+
+    for (const auto &[addr, len] : reqs) {
+        if (len == 0)
+            continue;
+        ++res.requests;
+        const uint64_t first = addr / timings_.burstBytes;
+        const uint64_t last = (addr + len - 1) / timings_.burstBytes;
+        for (uint64_t burst = first; burst <= last; ++burst) {
+            const uint64_t byte = burst * timings_.burstBytes;
+            const uint64_t row_global = byte / timings_.rowBytes;
+            const auto bank =
+                static_cast<uint32_t>(row_global % timings_.banks);
+            const auto row =
+                static_cast<int64_t>(row_global / timings_.banks);
+
+            double ready = bank_ready[bank];
+            if (open_row[bank] == row) {
+                // Row hit: column commands pipeline, so the burst
+                // streams as soon as the bus frees.
+                ++res.rowHits;
+            } else {
+                ++res.rowMisses;
+                res.energyJ += timings_.actPj * 1e-12;
+                // Precharge (if a row was open), activate, then the
+                // first column access; banks prepare in parallel with
+                // other banks' transfers.
+                ready += (open_row[bank] >= 0 ? timings_.tRp : 0)
+                    + timings_.tRcd + timings_.tCl;
+                open_row[bank] = row;
+            }
+            const double start = std::max(ready, bus_free);
+            bus_free = start + burst_cycles;
+            bank_ready[bank] = start;
+            res.energyJ += timings_.burstPj * 1e-12;
+            ++res.bursts;
+        }
+    }
+    res.cycles = bus_free;
+    return res;
+}
+
+DramSimResult
+DramSim::serveStream(const format::StreamProfile &profile,
+                     double spread_factor, uint64_t seed) const
+{
+    if (profile.payloadBytes == 0)
+        return {};
+    ensure(spread_factor >= 1.0, "spread_factor must be >= 1");
+    const uint64_t segments = std::max<uint64_t>(1, profile.segments);
+    const uint64_t avg_len =
+        std::max<uint64_t>(1, profile.payloadBytes / segments);
+
+    // Lay segments out across an address space inflated by the spread
+    // factor; shuffle their order so consecutive reads hop rows the
+    // way a block-ordered walk of a row-packed format does.
+    util::Rng rng(seed);
+    std::vector<DramRequest> reqs;
+    reqs.reserve(segments);
+    const uint64_t stride = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(avg_len) * spread_factor));
+    uint64_t remaining = profile.payloadBytes;
+    for (uint64_t s = 0; s < segments; ++s) {
+        const uint64_t len =
+            s + 1 == segments ? remaining : std::min(avg_len, remaining);
+        reqs.emplace_back(s * stride, len);
+        remaining -= len;
+    }
+    if (spread_factor > 1.0) {
+        for (size_t i = reqs.size(); i > 1; --i)
+            std::swap(reqs[i - 1], reqs[rng.below(i)]);
+    }
+    return serveTrace(reqs);
+}
+
+} // namespace tbstc::sim

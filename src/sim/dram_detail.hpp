@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Request-level DRAM simulator: banks, row buffers, activate/precharge
+ * timing — the Ramulator-class substitute behind the coarse DramModel.
+ *
+ * DramModel (dram.hpp) prices a stream with a per-segment overhead
+ * constant; this module derives that behaviour from first principles:
+ * a stream becomes a burst-granular request trace, each burst opens or
+ * hits a row in its bank, banks precharge/activate independently, and
+ * the shared data bus serializes transfers. Tests cross-validate the
+ * coarse model's utilisation against this one.
+ */
+
+#ifndef TBSTC_SIM_DRAM_DETAIL_HPP
+#define TBSTC_SIM_DRAM_DETAIL_HPP
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "config.hpp"
+#include "format/encoding.hpp"
+
+namespace tbstc::sim {
+
+/** DRAM device timing/geometry, in core-clock cycles and bytes. */
+struct DramTimings
+{
+    uint32_t banks = 16;
+    uint32_t rowBytes = 2048;  ///< Row-buffer size.
+    uint32_t burstBytes = 32;  ///< Data-bus transaction granularity.
+    uint32_t tRcd = 14;        ///< Activate -> column access.
+    uint32_t tRp = 14;         ///< Precharge.
+    uint32_t tCl = 14;         ///< Column access -> first data.
+
+    // Energy per event, picojoules.
+    double actPj = 900.0;      ///< One row activation (incl. precharge).
+    double burstPj = 160.0;    ///< One burst transfer (I/O + column).
+};
+
+/** One contiguous read request: (byte address, length). */
+using DramRequest = std::pair<uint64_t, uint64_t>;
+
+/** Outcome of serving a trace. */
+struct DramSimResult
+{
+    double cycles = 0.0;
+    uint64_t requests = 0;
+    uint64_t bursts = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowMisses = 0;
+    double energyJ = 0.0;
+
+    double
+    rowHitRate() const
+    {
+        const uint64_t total = rowHits + rowMisses;
+        return total ? static_cast<double>(rowHits) / total : 1.0;
+    }
+
+    /** Useful bytes per bus-cycle-byte of capacity. */
+    double
+    utilisation(double bytes, double bytes_per_cycle) const
+    {
+        return cycles > 0.0 ? bytes / (cycles * bytes_per_cycle) : 1.0;
+    }
+};
+
+/** Banked, row-buffered DRAM channel. */
+class DramSim
+{
+  public:
+    explicit DramSim(const ArchConfig &cfg, DramTimings timings = {});
+
+    /** Serve an explicit request trace in order. */
+    DramSimResult serveTrace(std::span<const DramRequest> reqs) const;
+
+    /**
+     * Serve a format stream: segments are laid out as the encoding's
+     * walk produces them — a contiguous run per segment, runs placed
+     * back to back in a @p spread_factor-times larger address space
+     * (1 = fully packed; CSR-style walks touch spread-out rows).
+     */
+    DramSimResult serveStream(const format::StreamProfile &profile,
+                              double spread_factor = 1.0,
+                              uint64_t seed = 1) const;
+
+    const DramTimings &timings() const { return timings_; }
+
+  private:
+    ArchConfig cfg_;
+    DramTimings timings_;
+};
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_DRAM_DETAIL_HPP

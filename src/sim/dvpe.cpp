@@ -1,0 +1,25 @@
+#include "dvpe.hpp"
+
+namespace tbstc::sim {
+
+uint64_t
+packedBeats(uint64_t nnz, size_t lanes)
+{
+    return (nnz + lanes - 1) / lanes;
+}
+
+uint64_t
+blockBeats(const BlockTask &task, const ArchConfig &cfg)
+{
+    if (task.nnz == 0)
+        return 0;
+    if (task.independentDim
+        && (!cfg.alternateUnit || cfg.intraMap == IntraMap::Naive)) {
+        // Row-per-beat issue: each non-empty row of the block occupies
+        // one beat regardless of how few lanes it fills.
+        return task.nonemptyRows;
+    }
+    return packedBeats(task.nnz, cfg.lanesPerDvpe);
+}
+
+} // namespace tbstc::sim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * DVPE intra-block execution model (paper Sec. VI-A1 / Fig. 11(c,d)).
+ *
+ * A DVPE issues one pipeline beat per cycle; a beat drives all
+ * `lanesPerDvpe` multipliers against one column of B. The mapping
+ * policy decides how a block's kept elements fill beats:
+ *
+ *  - Reduction-dimension blocks are always lane-packed: the classic
+ *    structured-sparse datapath (STC's multiplexers) packs the N-of-M
+ *    row groups into full beats, so a block costs ceil(nnz / lanes).
+ *  - Independent-dimension blocks have rows of varying occupancy.
+ *    Naive mapping issues one (non-empty) row per beat, stalling idle
+ *    lanes. The alternate unit lets TB-STC pack rows together and
+ *    buffer the extra partial sums, restoring ceil(nnz / lanes).
+ */
+
+#ifndef TBSTC_SIM_DVPE_HPP
+#define TBSTC_SIM_DVPE_HPP
+
+#include <cstdint>
+
+#include "config.hpp"
+#include "profile.hpp"
+
+namespace tbstc::sim {
+
+/**
+ * Pipeline beats one DVPE spends computing @p task against a single
+ * column of B.
+ *
+ * @param task Block descriptor.
+ * @param cfg Architecture (lanes, alternate unit, mapping policy).
+ */
+uint64_t blockBeats(const BlockTask &task, const ArchConfig &cfg);
+
+/**
+ * Lane-packed beat count: ceil(nnz / lanes). The best any mapping can
+ * do; exposed for utilisation baselines.
+ */
+uint64_t packedBeats(uint64_t nnz, size_t lanes);
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_DVPE_HPP

@@ -1,0 +1,94 @@
+#include "energy.hpp"
+
+namespace tbstc::sim {
+
+namespace {
+
+// Reference geometry the per-unit constants were calibrated against
+// (paper Sec. VII-A1): 8 arrays x 16 DVPEs x 8 lanes at 1 GHz.
+constexpr double kRefLanes = 1024.0;
+constexpr double kRefArrays = 8.0;
+
+// Table III anchor values.
+constexpr double kDvpeAreaMm2 = 1.43;
+constexpr double kDvpePowerMw = 197.71;
+constexpr double kCodecAreaMm2 = 0.03;
+constexpr double kCodecPowerMw = 2.19;
+constexpr double kMbdAreaMm2 = 0.01;
+constexpr double kMbdPowerMw = 0.69;
+
+// Added-over-dense-tensor-core area of one TB-STC instance: the
+// reduction network + alternate unit (0.08 mm^2, inside the DVPE
+// array figure) plus codec and MBD units (Sec. VII-C4).
+constexpr double kReductionNetMm2 = 0.08;
+
+// A100 comparison constants (paper Sec. VII-C4).
+constexpr double kA100TensorCoreRatio = 108.0;
+constexpr double kA100DieMm2 = 826.0;
+
+} // namespace
+
+AreaModel::AreaModel(const ArchConfig &cfg) : cfg_(cfg) {}
+
+std::vector<ComponentCost>
+AreaModel::components() const
+{
+    const double lane_scale =
+        static_cast<double>(cfg_.totalLanes()) / kRefLanes;
+    const double array_scale =
+        static_cast<double>(cfg_.dvpeArrays) / kRefArrays;
+
+    std::vector<ComponentCost> rows;
+    rows.push_back({"DVPE Array", kDvpeAreaMm2 * lane_scale,
+                    kDvpePowerMw * lane_scale});
+    if (cfg_.codecUnit) {
+        rows.push_back({"Codec Unit", kCodecAreaMm2 * array_scale,
+                        kCodecPowerMw * array_scale});
+    }
+    if (cfg_.mbdUnit) {
+        rows.push_back({"MBD Unit", kMbdAreaMm2 * array_scale,
+                        kMbdPowerMw * array_scale});
+    }
+    return rows;
+}
+
+double
+AreaModel::totalAreaMm2() const
+{
+    double total = 0.0;
+    for (const auto &c : components())
+        total += c.areaMm2;
+    return total;
+}
+
+double
+AreaModel::totalPowerMw() const
+{
+    double total = 0.0;
+    for (const auto &c : components())
+        total += c.powerMw;
+    return total;
+}
+
+double
+AreaModel::addedAreaMm2() const
+{
+    const double lane_scale =
+        static_cast<double>(cfg_.totalLanes()) / kRefLanes;
+    const double array_scale =
+        static_cast<double>(cfg_.dvpeArrays) / kRefArrays;
+    double added = kReductionNetMm2 * lane_scale;
+    if (cfg_.codecUnit)
+        added += kCodecAreaMm2 * array_scale;
+    if (cfg_.mbdUnit)
+        added += kMbdAreaMm2 * array_scale;
+    return added;
+}
+
+double
+AreaModel::a100OverheadFraction() const
+{
+    return addedAreaMm2() * kA100TensorCoreRatio / kA100DieMm2;
+}
+
+} // namespace tbstc::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Energy and area models (7 nm, 1 GHz).
+ *
+ * The paper derives these numbers from RTL synthesis (Synopsys DC),
+ * Sparseloop, CACTI 7, and DRAMPower, scaled to 7 nm via DeepScaleTool.
+ * We substitute an analytical model whose per-event constants are set
+ * from published 7 nm figures and calibrated so the component
+ * *breakdown ratios* match the paper's Table III; see DESIGN.md
+ * ("Substitutions"). All energies in picojoules, areas in mm^2.
+ */
+
+#ifndef TBSTC_SIM_ENERGY_HPP
+#define TBSTC_SIM_ENERGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+
+namespace tbstc::sim {
+
+/** Per-event dynamic energies (pJ) and static powers (mW). */
+struct EnergyParams
+{
+    // Dynamic energy per event, picojoules.
+    double macFp16Pj = 0.1657;  ///< One FP16 multiply-accumulate.
+    double macInt8Pj = 0.055;   ///< One INT8 MAC (Q+S mode).
+    double sramBytePj = 0.18;   ///< One byte through on-chip SRAM.
+    double dramBytePj = 12.0;   ///< One byte over the DRAM interface.
+    double codecElemPj = 0.115; ///< One element through the codec queues.
+    double mbdElemPj = 0.0356;  ///< One operand through the MBD unit.
+
+    // Static power, milliwatts (component leakage + clock tree).
+    double dvpeStaticMw = 28.0; ///< Whole DVPE-array complex.
+    double codecStaticMw = 0.35;
+    double mbdStaticMw = 0.12;
+};
+
+/** Energy accounting for one simulated run. */
+struct EnergyBreakdown
+{
+    double computeJ = 0.0; ///< MACs (incl. reduction network).
+    double sramJ = 0.0;
+    double dramJ = 0.0;
+    double codecJ = 0.0;
+    double mbdJ = 0.0;
+    double staticJ = 0.0;
+
+    double
+    totalJ() const
+    {
+        return computeJ + sramJ + dramJ + codecJ + mbdJ + staticJ;
+    }
+};
+
+/** Component area/power entry for Table III. */
+struct ComponentCost
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0; ///< Peak power at 1 GHz full activity.
+};
+
+/**
+ * Area/power model of a TB-STC-class accelerator.
+ *
+ * Component areas scale linearly in unit counts; the per-unit
+ * constants reproduce the paper's Table III at the default geometry
+ * (1.43 / 0.03 / 0.01 mm^2 and 197.71 / 2.19 / 0.69 mW for the DVPE
+ * array, codec unit, and MBD unit respectively).
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const ArchConfig &cfg);
+
+    /** Per-component rows, in Table III order. */
+    std::vector<ComponentCost> components() const;
+
+    double totalAreaMm2() const;
+    double totalPowerMw() const;
+
+    /**
+     * Area overhead of scaling this design to A100 proportions:
+     * the paper multiplies one TB-STC instance by 108 (the tensor-core
+     * count ratio) and divides by the 826 mm^2 A100 die.
+     */
+    double a100OverheadFraction() const;
+
+    /** Added-over-tensor-core area (reduction network+codec+MBD). */
+    double addedAreaMm2() const;
+
+  private:
+    ArchConfig cfg_;
+};
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_ENERGY_HPP

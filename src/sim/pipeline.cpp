@@ -1,0 +1,196 @@
+#include "pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dram.hpp"
+#include "dvpe.hpp"
+#include "scheduler.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::sim {
+
+namespace {
+
+/// Pipeline fill/drain cost of one layer launch, in cycles.
+constexpr double kStartupCycles = 512.0;
+
+/// Value-byte shrink of the A stream in Q+S mode: fp16 -> int8 halves
+/// the value payload while per-element metadata stays, and values are
+/// the dominant share of every format's payload.
+constexpr double kInt8AStreamScale = 0.58;
+
+/// Codec drain margin per converted block (queue flush), in timesteps.
+constexpr uint64_t kCodecTailCycles = 2;
+
+} // namespace
+
+void
+RunStats::accumulate(const RunStats &other)
+{
+    cycles += other.cycles;
+    seconds += other.seconds;
+    energy.computeJ += other.energy.computeJ;
+    energy.sramJ += other.energy.sramJ;
+    energy.dramJ += other.energy.dramJ;
+    energy.codecJ += other.energy.codecJ;
+    energy.mbdJ += other.energy.mbdJ;
+    energy.staticJ += other.energy.staticJ;
+    breakdown.compute += other.breakdown.compute;
+    breakdown.memory += other.breakdown.memory;
+    breakdown.codec += other.breakdown.codec;
+    breakdown.codecExposed += other.breakdown.codecExposed;
+    breakdown.startup += other.breakdown.startup;
+    breakdown.total += other.breakdown.total;
+
+    // Re-derive the ratio metrics, weighting by each run's share.
+    const double total = cycles;
+    if (total > 0.0) {
+        const double w0 = (total - other.cycles) / total;
+        const double w1 = other.cycles / total;
+        bwUtilisation = bwUtilisation * w0 + other.bwUtilisation * w1;
+        computeUtilisation =
+            computeUtilisation * w0 + other.computeUtilisation * w1;
+        schedUtilisation =
+            schedUtilisation * w0 + other.schedUtilisation * w1;
+    }
+    edp = energy.totalJ() * seconds;
+}
+
+RunStats
+RunStats::scaled(double k) const
+{
+    RunStats out = *this;
+    out.cycles *= k;
+    out.seconds *= k;
+    out.energy.computeJ *= k;
+    out.energy.sramJ *= k;
+    out.energy.dramJ *= k;
+    out.energy.codecJ *= k;
+    out.energy.mbdJ *= k;
+    out.energy.staticJ *= k;
+    out.breakdown.compute *= k;
+    out.breakdown.memory *= k;
+    out.breakdown.codec *= k;
+    out.breakdown.codecExposed *= k;
+    out.breakdown.startup *= k;
+    out.breakdown.total *= k;
+    out.edp = out.energy.totalJ() * out.seconds;
+    return out;
+}
+
+RunStats
+simulateLayer(const LayerProfile &layer, const ArchConfig &cfg,
+              const EnergyParams &energy, const RunOptions &opts)
+{
+    util::ensure(layer.m > 0 && layer.nb > 0, "degenerate layer");
+    const double scale = layer.sampleScale;
+
+    // --- Compute: per-block beats, then the inter-block schedule. ---
+    std::vector<uint64_t> costs;
+    costs.reserve(layer.blocks.size());
+    double codec_elems = 0.0;
+    double codec_cycles_raw = 0.0;
+    for (const BlockTask &b : layer.blocks) {
+        // Element-granular datapaths schedule raw elements; structured
+        // ones issue whole beats (lane-groups) per block.
+        costs.push_back(cfg.elementGranular ? b.nnz : blockBeats(b, cfg));
+        if (b.independentDim && cfg.codecUnit && b.nnz > 0) {
+            codec_elems += b.nnz;
+            codec_cycles_raw += static_cast<double>(
+                (b.nnz + 1) / 2 + kCodecTailCycles);
+        }
+    }
+    const ScheduleResult sched = scheduleBlocks(
+        costs, cfg.totalDvpes(), cfg.interSched, cfg.schedLookahead);
+    double beat_divisor = cfg.elementGranular
+        ? static_cast<double>(cfg.lanesPerDvpe)
+        : 1.0;
+    // Int8 weights double the MAC rate (each fp16 lane retires two
+    // 8-bit products per cycle, as on real tensor cores).
+    if (opts.int8Weights)
+        beat_divisor *= 2.0;
+    const double compute_cycles = static_cast<double>(sched.makespan)
+        * static_cast<double>(layer.nb) * scale
+        * cfg.beatOverheadScale / beat_divisor;
+
+    // --- Memory: A (format-dependent), B and D (contiguous). ---
+    const DramModel dram(cfg);
+    DramTransfer a = dram.stream(layer.aStream);
+    double a_bytes_scale = scale;
+    if (opts.int8Weights)
+        a_bytes_scale *= kInt8AStreamScale;
+    const DramTransfer b =
+        dram.streamContiguous(layer.y * layer.nb * 2);
+    const DramTransfer d =
+        dram.streamContiguous(layer.x * layer.nb * 2);
+    const double mem_cycles =
+        a.cycles * a_bytes_scale + b.cycles + d.cycles;
+
+    // --- Codec: conversion runs once per fetched block, overlapped
+    // with the pipeline. The codec sits on the fetch path, so its
+    // aggregate throughput is provisioned to line rate (one 2-lane
+    // converter per 4 bytes/cycle of DRAM bandwidth), with at least
+    // one converter per DVPE array; that is what keeps conversion
+    // hideable (paper Fig. 14). ---
+    const double converters = std::max(
+        cfg.dramBytesPerCycle() / 4.0,
+        static_cast<double>(cfg.dvpeArrays));
+    const double codec_cycles = codec_cycles_raw * scale / converters;
+
+    // --- Assemble the pipeline. ---
+    RunStats out;
+    const double bottleneck = std::max(compute_cycles, mem_cycles);
+    const double exposed = std::max(0.0, codec_cycles - bottleneck);
+    out.breakdown.compute = compute_cycles;
+    out.breakdown.memory = mem_cycles;
+    out.breakdown.codec = codec_cycles;
+    out.breakdown.codecExposed = exposed;
+    out.breakdown.startup = kStartupCycles;
+    out.breakdown.total = bottleneck + exposed + kStartupCycles;
+    out.cycles = out.breakdown.total;
+    out.seconds = out.cycles / (cfg.clockGhz * 1e9);
+
+    // --- Energy. ---
+    const double macs = layer.usefulMacs();
+    const double mac_pj =
+        opts.int8Weights ? energy.macInt8Pj : energy.macFp16Pj;
+    out.energy.computeJ =
+        macs * mac_pj * 1e-12 * cfg.computeEnergyScale;
+    const double dram_bus = static_cast<double>(a.busBytes)
+            * a_bytes_scale
+        + static_cast<double>(b.busBytes)
+        + static_cast<double>(d.busBytes);
+    const double dram_useful = static_cast<double>(a.usefulBytes)
+            * a_bytes_scale
+        + static_cast<double>(b.usefulBytes)
+        + static_cast<double>(d.usefulBytes);
+    out.energy.dramJ = dram_bus * energy.dramBytePj * 1e-12;
+    // On-chip traffic: every useful byte is written to and read from
+    // the double buffer once; operand-register energy is folded into
+    // the per-MAC constant.
+    out.energy.sramJ = dram_useful * 2.0 * energy.sramBytePj * 1e-12;
+    out.energy.codecJ =
+        codec_elems * scale * energy.codecElemPj * 1e-12;
+    out.energy.mbdJ = cfg.mbdUnit
+        ? static_cast<double>(layer.aNnz) * scale * energy.mbdElemPj
+            * 1e-12
+        : 0.0;
+    const double static_mw = energy.dvpeStaticMw
+        + (cfg.codecUnit ? energy.codecStaticMw : 0.0)
+        + (cfg.mbdUnit ? energy.mbdStaticMw : 0.0)
+        + cfg.extraStaticW * 1e3;
+    out.energy.staticJ = static_mw * 1e-3 * out.seconds;
+
+    // --- Derived metrics. ---
+    out.edp = out.energy.totalJ() * out.seconds;
+    out.bwUtilisation = dram_bus > 0.0 ? dram_useful / dram_bus : 1.0;
+    const double lane_cycles = compute_cycles
+        * static_cast<double>(cfg.totalLanes());
+    out.computeUtilisation = lane_cycles > 0.0 ? macs / lane_cycles : 0.0;
+    out.schedUtilisation = sched.utilisation;
+    return out;
+}
+
+} // namespace tbstc::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Layer profile: everything the cycle-level simulator needs to know
+ * about one SpMM layer, reduced to block granularity.
+ *
+ * A profile is built once per (layer, pattern, sparsity, format)
+ * combination — from a real mask and a real encoding — and can then be
+ * replayed through any accelerator configuration cheaply.
+ */
+
+#ifndef TBSTC_SIM_PROFILE_HPP
+#define TBSTC_SIM_PROFILE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "format/encoding.hpp"
+
+namespace tbstc::sim {
+
+/** One M x M block of the sparse operand, as the hardware sees it. */
+struct BlockTask
+{
+    uint16_t nnz = 0;      ///< Kept elements in the block.
+    uint8_t n = 0;         ///< N of the block's N:M ratio.
+    bool independentDim = false; ///< Needs codec conversion + MBD transpose.
+    uint8_t nonemptyRows = 0;    ///< Rows with >= 1 element (naive beats).
+};
+
+/** Block-granular description of one SpMM layer D = A x B. */
+struct LayerProfile
+{
+    // GEMM geometry: A is x * y (y = reduction), B is y * nb.
+    uint64_t x = 0;
+    uint64_t y = 0;
+    uint64_t nb = 0;
+    uint64_t m = 8; ///< Block size.
+
+    std::vector<BlockTask> blocks; ///< (x/m * y/m) tasks, row-major.
+    format::StreamProfile aStream; ///< A-side traffic for the format.
+    uint64_t aNnz = 0;             ///< Total kept elements of A.
+
+    /**
+     * Scale factor when the profile was built from a row-sampled
+     * sub-matrix of A: block counts and traffic are multiplied by it.
+     */
+    double sampleScale = 1.0;
+
+    /** Useful multiply-accumulates of the layer. */
+    double
+    usefulMacs() const
+    {
+        return static_cast<double>(aNnz) * static_cast<double>(nb)
+            * sampleScale;
+    }
+};
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_PROFILE_HPP

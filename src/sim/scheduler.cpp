@@ -1,0 +1,90 @@
+#include "scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace tbstc::sim {
+
+using util::ensure;
+
+namespace {
+
+ScheduleResult
+scheduleNaive(std::span<const uint64_t> costs, size_t pes)
+{
+    ScheduleResult res;
+    for (size_t w0 = 0; w0 < costs.size(); w0 += pes) {
+        const size_t w1 = std::min(w0 + pes, costs.size());
+        uint64_t wave_max = 0;
+        for (size_t i = w0; i < w1; ++i) {
+            wave_max = std::max(wave_max, costs[i]);
+            res.busyBeats += static_cast<double>(costs[i]);
+        }
+        res.makespan += wave_max;
+    }
+    return res;
+}
+
+ScheduleResult
+scheduleAware(std::span<const uint64_t> costs, size_t pes,
+              size_t lookahead)
+{
+    ScheduleResult res;
+    // PE free times as a min-heap.
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<>> free_at;
+    for (size_t p = 0; p < pes; ++p)
+        free_at.push(0);
+
+    // The scheduling unit buffers up to `lookahead` upcoming blocks
+    // and always hands the earliest-free PE the heaviest buffered
+    // block (longest-processing-time within the window); light blocks
+    // then back-fill the stragglers, which is the merging effect of
+    // paper Fig. 11(b).
+    std::vector<uint64_t> window;
+    size_t cursor = 0;
+    auto refill = [&] {
+        while (window.size() < lookahead && cursor < costs.size())
+            window.push_back(costs[cursor++]);
+    };
+    refill();
+    while (!window.empty()) {
+        const auto heaviest =
+            std::max_element(window.begin(), window.end());
+        const uint64_t cost = *heaviest;
+        window.erase(heaviest);
+        res.busyBeats += static_cast<double>(cost);
+        const uint64_t start = free_at.top();
+        free_at.pop();
+        free_at.push(start + cost);
+        refill();
+    }
+    uint64_t makespan = 0;
+    while (!free_at.empty()) {
+        makespan = std::max(makespan, free_at.top());
+        free_at.pop();
+    }
+    res.makespan = makespan;
+    return res;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleBlocks(std::span<const uint64_t> costs, size_t pes,
+               InterSched policy, size_t lookahead)
+{
+    ensure(pes > 0, "scheduleBlocks requires at least one PE");
+    ScheduleResult res = policy == InterSched::Naive
+        ? scheduleNaive(costs, pes)
+        : scheduleAware(costs, pes, std::max<size_t>(lookahead, 1));
+    const double denom = static_cast<double>(res.makespan)
+        * static_cast<double>(pes);
+    res.utilisation = denom > 0.0 ? res.busyBeats / denom : 1.0;
+    return res;
+}
+
+} // namespace tbstc::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Inter-block scheduling (paper Sec. VI-B1 / Fig. 11(a,b)).
+ *
+ * A stream of block tasks (with per-block beat costs) must be spread
+ * over the DVPEs. Naive dispatch issues waves of one block per PE and
+ * stalls the wave on its slowest block. The sparsity-aware scheduling
+ * unit buffers a small lookahead window of blocks and feeds each PE as
+ * it frees up, merging light blocks into the gaps — the paper's
+ * "5 instead of 10 PE x cycles" example.
+ */
+
+#ifndef TBSTC_SIM_SCHEDULER_HPP
+#define TBSTC_SIM_SCHEDULER_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "config.hpp"
+
+namespace tbstc::sim {
+
+/** Outcome of scheduling one block stream. */
+struct ScheduleResult
+{
+    uint64_t makespan = 0;    ///< Beats until the last PE finishes.
+    double busyBeats = 0.0;   ///< Sum of per-block costs (useful work).
+    double utilisation = 0.0; ///< busy / (makespan * pes).
+};
+
+/**
+ * Schedule @p costs (beats per block, in stream order) onto @p pes
+ * processing elements under @p policy.
+ *
+ * @param lookahead Window the aware scheduling unit may buffer;
+ *     ignored for the naive policy.
+ */
+ScheduleResult scheduleBlocks(std::span<const uint64_t> costs, size_t pes,
+                              InterSched policy, size_t lookahead);
+
+} // namespace tbstc::sim
+
+#endif // TBSTC_SIM_SCHEDULER_HPP

@@ -1,0 +1,63 @@
+#include "combinatorics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "logging.hpp"
+
+namespace tbstc::util {
+
+uint64_t
+chooseExact(uint64_t n, uint64_t k)
+{
+    if (k > n)
+        return 0;
+    k = std::min(k, n - k);
+    // Multiply-then-divide is exact at every step because the running
+    // product is C(n-k+i, i) * i! / i! — always integral. Carry the
+    // intermediate product in 128 bits and bound the final result.
+    unsigned __int128 result = 1;
+    for (uint64_t i = 1; i <= k; ++i) {
+        result = result * (n - k + i) / i;
+        ensure(result <= UINT64_MAX, "chooseExact overflow");
+    }
+    return static_cast<uint64_t>(result);
+}
+
+double
+log2Choose(double n, double k)
+{
+    if (k < 0 || k > n)
+        return -std::numeric_limits<double>::infinity();
+    if (k == 0 || k == n)
+        return 0.0;
+    constexpr double log2e = 1.4426950408889634;
+    return log2e * (std::lgamma(n + 1.0) - std::lgamma(k + 1.0)
+                    - std::lgamma(n - k + 1.0));
+}
+
+double
+log2SumExp2(std::span<const double> log2_terms)
+{
+    if (log2_terms.empty())
+        return -std::numeric_limits<double>::infinity();
+    double max_term = -std::numeric_limits<double>::infinity();
+    for (double t : log2_terms)
+        max_term = std::max(max_term, t);
+    if (!std::isfinite(max_term))
+        return max_term;
+    double sum = 0.0;
+    for (double t : log2_terms)
+        sum += std::exp2(t - max_term);
+    return max_term + std::log2(sum);
+}
+
+double
+log2AddExp2(double a, double b)
+{
+    const double terms[] = {a, b};
+    return log2SumExp2(terms);
+}
+
+} // namespace tbstc::util

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Log-space combinatorics for the mask-space analysis (paper Eqs. (1)-(4)).
+ *
+ * Mask-space counts overflow any integer type for realistic matrix sizes
+ * (e.g. 2^(10^5) masks), so all pattern mask-space math is carried in
+ * log2. Exact 64-bit binomials are also provided for small cases so tests
+ * can cross-check the log-space path against brute force.
+ */
+
+#ifndef TBSTC_UTIL_COMBINATORICS_HPP
+#define TBSTC_UTIL_COMBINATORICS_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace tbstc::util {
+
+/** Exact C(n, k) in 64 bits; panics on overflow. Intended for n <= 62. */
+uint64_t chooseExact(uint64_t n, uint64_t k);
+
+/** log2 C(n, k) via lgamma; exact to double precision. */
+double log2Choose(double n, double k);
+
+/**
+ * log2 of a sum given log2 of each addend: log2(Σ 2^x_i).
+ * Stable for wildly different magnitudes (log-sum-exp in base 2).
+ */
+double log2SumExp2(std::span<const double> log2_terms);
+
+/** log2(2^a + 2^b). */
+double log2AddExp2(double a, double b);
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_COMBINATORICS_HPP

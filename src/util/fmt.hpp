@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal "{}"-placeholder string formatting.
+ *
+ * The toolchain this library targets (GCC 12) does not ship
+ * std::format, so logging and table code use this tiny substitute: each
+ * "{}" in the pattern is replaced by the next argument, streamed via
+ * operator<<. No width/precision specs — use util::fmtDouble for
+ * fixed-point numbers.
+ */
+
+#ifndef TBSTC_UTIL_FMT_HPP
+#define TBSTC_UTIL_FMT_HPP
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tbstc::util {
+
+namespace detail {
+
+template <typename T>
+std::string
+stringify(const T &value)
+{
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Replace each "{}" in @p fmt with the next argument. Surplus
+ * placeholders are left verbatim; surplus arguments are ignored.
+ */
+template <typename... Args>
+std::string
+formatStr(std::string_view fmt, const Args &...args)
+{
+    std::vector<std::string> parts{detail::stringify(args)...};
+    std::string out;
+    out.reserve(fmt.size() + parts.size() * 8);
+    size_t next = 0;
+    for (size_t i = 0; i < fmt.size(); ++i) {
+        if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '}'
+            && next < parts.size()) {
+            out += parts[next++];
+            ++i;
+        } else {
+            out += fmt[i];
+        }
+    }
+    return out;
+}
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_FMT_HPP

@@ -1,0 +1,116 @@
+#include "fp16.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace tbstc::util {
+
+uint16_t
+fp16FromFloat(float f)
+{
+    const uint32_t bits = std::bit_cast<uint32_t>(f);
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    const int32_t exp32 = static_cast<int32_t>((bits >> 23) & 0xff) - 127;
+    uint32_t mant = bits & 0x7fffffu;
+
+    if (exp32 == 128) {
+        // Inf / NaN. Preserve NaN-ness with a quiet mantissa bit.
+        return static_cast<uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0));
+    }
+
+    int32_t exp16 = exp32 + 15;
+    if (exp16 >= 0x1f) {
+        // Overflow -> infinity.
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+
+    if (exp16 <= 0) {
+        // Subnormal (or zero). Shift mantissa (with hidden bit) right.
+        if (exp16 < -10)
+            return static_cast<uint16_t>(sign); // Rounds to zero.
+        mant |= 0x800000u;
+        const int shift = 14 - exp16; // 14..24
+        uint32_t half = mant >> shift;
+        // Round to nearest even.
+        const uint32_t rem = mant & ((1u << shift) - 1);
+        const uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            ++half;
+        return static_cast<uint16_t>(sign | half);
+    }
+
+    // Normal number: keep top 10 mantissa bits, round to nearest even.
+    uint32_t half = (static_cast<uint32_t>(exp16) << 10) | (mant >> 13);
+    const uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1)))
+        ++half; // May carry into the exponent; that is correct rounding.
+    return static_cast<uint16_t>(sign | half);
+}
+
+float
+fp16ToFloat(uint16_t h)
+{
+    const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+    const uint32_t exp = (h >> 10) & 0x1f;
+    uint32_t mant = h & 0x3ffu;
+
+    uint32_t bits;
+    if (exp == 0) {
+        if (mant == 0) {
+            bits = sign; // Zero.
+        } else {
+            // Subnormal: normalize.
+            int e = -1;
+            do {
+                mant <<= 1;
+                ++e;
+            } while (!(mant & 0x400u));
+            mant &= 0x3ffu;
+            bits = sign | (static_cast<uint32_t>(112 - e) << 23)
+                 | (mant << 13);
+        }
+    } else if (exp == 0x1f) {
+        bits = sign | 0x7f800000u | (mant << 13); // Inf / NaN.
+    } else {
+        bits = sign | ((exp + 112) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(bits);
+}
+
+void
+fp16RoundInPlace(std::vector<float> &v)
+{
+    for (auto &x : v)
+        x = fp16Round(x);
+}
+
+int8_t
+Int8Quant::quantize(float f) const
+{
+    if (scale <= 0.0f)
+        return 0;
+    const float q = std::round(f / scale);
+    return static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+Int8Quant
+fitInt8(const std::vector<float> &v)
+{
+    float absmax = 0.0f;
+    for (float x : v)
+        absmax = std::max(absmax, std::fabs(x));
+    Int8Quant q;
+    q.scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    return q;
+}
+
+void
+int8RoundInPlace(std::vector<float> &v)
+{
+    const Int8Quant q = fitInt8(v);
+    for (auto &x : v)
+        x = q.dequantize(q.quantize(x));
+}
+
+} // namespace tbstc::util

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * IEEE-754 binary16 emulation and int8 weight quantization.
+ *
+ * TB-STC's datapath is FP16; benches that model the "Q+S" configuration
+ * (Fig. 15(b)) additionally quantize weights to int8. Host arithmetic is
+ * float, with explicit rounding through these helpers so numerical
+ * behaviour matches a half-precision datapath.
+ */
+
+#ifndef TBSTC_UTIL_FP16_HPP
+#define TBSTC_UTIL_FP16_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace tbstc::util {
+
+/** Encode a float to binary16 bits (round-to-nearest-even). */
+uint16_t fp16FromFloat(float f);
+
+/** Decode binary16 bits to float. */
+float fp16ToFloat(uint16_t h);
+
+/** Round a float through binary16 precision. */
+inline float
+fp16Round(float f)
+{
+    return fp16ToFloat(fp16FromFloat(f));
+}
+
+/** Round every element of @p v through binary16. */
+void fp16RoundInPlace(std::vector<float> &v);
+
+/**
+ * Symmetric per-tensor int8 quantization parameters.
+ * value ≈ scale * q with q in [-127, 127].
+ */
+struct Int8Quant
+{
+    float scale = 1.0f;
+
+    /** Quantize one value. */
+    int8_t quantize(float f) const;
+
+    /** Dequantize one value. */
+    float dequantize(int8_t q) const { return scale * static_cast<float>(q); }
+};
+
+/** Fit symmetric int8 quantization to the absmax of @p v. */
+Int8Quant fitInt8(const std::vector<float> &v);
+
+/** Round every element of @p v through int8 quantization (fake-quant). */
+void int8RoundInPlace(std::vector<float> &v);
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_FP16_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  — the caller asked for something impossible (bad configuration,
+ *            invalid arguments); exits with an error code.
+ * warn()   — something works, but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef TBSTC_UTIL_LOGGING_HPP
+#define TBSTC_UTIL_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "fmt.hpp"
+#include <string>
+#include <string_view>
+
+namespace tbstc::util {
+
+/** Thrown by fatal(); carries the user-facing message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown by panic(); indicates a library bug, not user error. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/**
+ * Report an unrecoverable user error (bad config, invalid argument).
+ *
+ * @param fmt std::format pattern.
+ * @param args Format arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, const Args &...args)
+{
+    std::string msg = formatStr(fmt, args...);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+/**
+ * Report a violated internal invariant (a bug in this library).
+ *
+ * @param fmt std::format pattern.
+ * @param args Format arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, const Args &...args)
+{
+    std::string msg = formatStr(fmt, args...);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+/** Print a warning that does not stop execution. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args &...args)
+{
+    std::string msg = formatStr(fmt, args...);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args &...args)
+{
+    std::string msg = formatStr(fmt, args...);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/**
+ * Assert a simulator invariant; panics with @p what when @p cond is false.
+ * Active in all build types (unlike assert()).
+ */
+inline void
+ensure(bool cond, std::string_view what)
+{
+    if (!cond)
+        panic("{}", what);
+}
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_LOGGING_HPP

@@ -1,0 +1,90 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace tbstc::util {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        ensure(x > 0.0, "geomean requires positive values");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+minOf(std::span<const double> xs)
+{
+    ensure(!xs.empty(), "minOf on empty span");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(std::span<const double> xs)
+{
+    ensure(!xs.empty(), "maxOf on empty span");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0)
+{
+    ensure(hi > lo && bins > 0, "Histogram requires hi > lo and bins > 0");
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    const double span = hi_ - lo_;
+    auto bin = static_cast<long>((x - lo_) / span
+                                 * static_cast<double>(counts_.size()));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<size_t>(bin)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i)
+         / static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return binLo(i + 1);
+}
+
+} // namespace tbstc::util

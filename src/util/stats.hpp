@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator and benches.
+ */
+
+#ifndef TBSTC_UTIL_STATS_HPP
+#define TBSTC_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tbstc::util {
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Geometric mean; requires all elements > 0. 0 for an empty span. */
+double geomean(std::span<const double> xs);
+
+/** Population standard deviation; 0 for fewer than two elements. */
+double stddev(std::span<const double> xs);
+
+/** Minimum; panics on empty input. */
+double minOf(std::span<const double> xs);
+
+/** Maximum; panics on empty input. */
+double maxOf(std::span<const double> xs);
+
+/**
+ * Streaming accumulator for per-cycle utilisation-style metrics.
+ * Accumulates a numerator/denominator pair and reports the ratio.
+ */
+class RatioStat
+{
+  public:
+    /** Add @p num useful units out of @p den possible units. */
+    void
+    add(double num, double den)
+    {
+        num_ += num;
+        den_ += den;
+    }
+
+    /** Accumulated ratio; 0 when nothing was added. */
+    double ratio() const { return den_ > 0.0 ? num_ / den_ : 0.0; }
+
+    double numerator() const { return num_; }
+    double denominator() const { return den_; }
+
+  private:
+    double num_ = 0.0;
+    double den_ = 0.0;
+};
+
+/** Fixed-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x, double weight = 1.0);
+
+    size_t bins() const { return counts_.size(); }
+    double binLo(size_t i) const;
+    double binHi(size_t i) const;
+    double count(size_t i) const { return counts_[i]; }
+    double total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+};
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_STATS_HPP

@@ -1,0 +1,76 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hpp"
+
+namespace tbstc::util {
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    ensure(!header_.empty(), "Table requires a non-empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ensure(cells.size() == header_.size(),
+           "Table row width must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() < width[c])
+                line += std::string(width[c] - row[c].size(), ' ');
+            line += row[c];
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = emit_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace tbstc::util

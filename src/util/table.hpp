@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Console table printer used by the benchmark harnesses to emit the
+ * rows/series of the paper's tables and figures in a readable layout.
+ */
+
+#ifndef TBSTC_UTIL_TABLE_HPP
+#define TBSTC_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace tbstc::util {
+
+/** Right-aligned fixed-point formatting helper. */
+std::string fmtDouble(double v, int precision = 2);
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"layer", "speedup", "EDP"});
+ *   t.addRow({"L1", fmtDouble(1.55), fmtDouble(0.42)});
+ *   t.print();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string (header, rule, rows). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("=== title ===") for bench output. */
+void banner(const std::string &title);
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_TABLE_HPP

@@ -1,0 +1,161 @@
+#include "accuracy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "synth.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace tbstc::workload {
+
+using core::Pattern;
+
+namespace {
+
+/** Table I/II anchor rows: accuracy (%) at the anchor sparsity. */
+struct Anchor
+{
+    double sparsity; ///< Sparsity the table reports at.
+    double dense;
+    double us;
+    double ts;
+    double rsv;
+    double rsh;
+    double tbs;
+};
+
+Anchor
+anchorFor(ModelId model)
+{
+    switch (model) {
+      case ModelId::ResNet50: // Cifar-10, Table I.
+        return {0.75, 95.04, 94.93, 94.32, 94.32, 94.79, 94.91};
+      case ModelId::ResNet18: // ImageNet, Table I.
+        return {0.75, 89.08, 88.15, 86.37, 86.89, 86.61, 87.53};
+      case ModelId::BertBase: // sst-2, Table I.
+        return {0.50, 92.32, 91.43, 90.25, 90.37, 90.48, 91.38};
+      case ModelId::Opt67b:   // Table II, Wanda/SparseGPT average.
+        return {0.50, 64.39, 61.22, 57.93, 58.84, 58.84, 60.75};
+      case ModelId::Llama27b: // Table II, Wanda/SparseGPT average.
+        return {0.50, 70.15, 66.90, 63.72, 64.03, 64.13, 66.06};
+    }
+    util::panic("unknown ModelId");
+}
+
+/** The table's reported accuracy for @p pattern at the anchor. */
+double
+anchorAccuracy(const Anchor &a, Pattern p)
+{
+    switch (p) {
+      case Pattern::Dense: return a.dense;
+      case Pattern::US:    return a.us;
+      case Pattern::TS:    return a.ts;
+      case Pattern::RSV:   return a.rsv;
+      case Pattern::RSH:   return a.rsh;
+      case Pattern::TBS:   return a.tbs;
+    }
+    util::panic("unknown Pattern");
+}
+
+/** Odds-style sparsity severity: s / (1 - s). */
+double
+severity(double s)
+{
+    s = std::clamp(s, 0.0, 0.97);
+    return s / (1.0 - s);
+}
+
+} // namespace
+
+double
+maskSimilarity(Pattern pattern, double sparsity, size_t m, uint64_t seed)
+{
+    if (pattern == Pattern::US || pattern == Pattern::Dense)
+        return 1.0;
+    // Memoize: the bisection in isoAccuracySparsity revisits points.
+    using Key = std::tuple<int, long, size_t, uint64_t>;
+    static std::map<Key, double> cache;
+    const Key key{static_cast<int>(pattern),
+                  std::lround(sparsity * 10000.0), m, seed};
+    const auto hit = cache.find(key);
+    if (hit != cache.end())
+        return hit->second;
+
+    constexpr size_t kDim = 256;
+    const core::Matrix w =
+        synthWeights({"similarity-probe", kDim, kDim, 1}, seed);
+    const core::Matrix scores = core::magnitudeScores(w);
+    const auto cand = core::defaultCandidates(m);
+    const core::Mask us = core::usMask(scores, sparsity);
+    const core::Mask pat =
+        core::patternMask(pattern, scores, sparsity, m, cand);
+    const double sim = pat.agreement(us);
+    cache.emplace(key, sim);
+    return sim;
+}
+
+double
+denseAccuracy(ModelId model)
+{
+    return anchorFor(model).dense;
+}
+
+double
+proxyAccuracy(ModelId model, Pattern pattern, double sparsity, size_t m)
+{
+    const Anchor a = anchorFor(model);
+    if (pattern == Pattern::Dense || sparsity <= 0.0)
+        return a.dense;
+
+    // Unstructured degradation: power law in the sparsity odds,
+    // pinned to the table's US drop at the anchor sparsity.
+    constexpr double kUsExponent = 1.5;
+    const double us_drop_anchor = a.dense - a.us;
+    const double sev_ratio = severity(sparsity) / severity(a.sparsity);
+    const double us_drop =
+        us_drop_anchor * std::pow(sev_ratio, kUsExponent);
+    if (pattern == Pattern::US)
+        return std::max(0.0, a.dense - us_drop);
+
+    // Structured gap over US: pinned to this pattern's own table
+    // accuracy at the anchor sparsity, and scaled away from the
+    // anchor by the measured mask-dissimilarity ratio and the
+    // sparsity severity (gap -> 0 as sparsity -> 0).
+    const double gap_anchor =
+        std::max(0.0, a.us - anchorAccuracy(a, pattern));
+    const double dis_anchor = std::max(
+        1e-3, 1.0 - maskSimilarity(pattern, a.sparsity, m));
+    const double dis = std::max(
+        0.0, 1.0 - maskSimilarity(pattern, sparsity, m));
+    const double gap = gap_anchor * (dis / dis_anchor) * sev_ratio;
+    return std::max(0.0, a.dense - us_drop - gap);
+}
+
+double
+isoAccuracySparsity(ModelId model, Pattern pattern,
+                    double target_accuracy, size_t m)
+{
+    constexpr double kLo = 0.0;
+    constexpr double kHi = 0.95;
+    if (proxyAccuracy(model, pattern, kHi, m) >= target_accuracy)
+        return kHi;
+    if (proxyAccuracy(model, pattern, 0.05, m) < target_accuracy)
+        return kLo;
+    double lo = 0.05;
+    double hi = kHi;
+    for (int it = 0; it < 40; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (proxyAccuracy(model, pattern, mid, m) >= target_accuracy)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+} // namespace tbstc::workload

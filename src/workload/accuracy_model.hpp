@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Accuracy proxy used by the hardware benches (Pareto frontier and
+ * iso-accuracy end-to-end runs).
+ *
+ * The ground-truth accuracy experiments live in the nn module (they
+ * really train models; see bench/tab1 and bench/tab2). Hardware
+ * benches, however, need accuracy(pattern, sparsity) curves for
+ * models we cannot train here (OPT-6.7B etc.). This proxy anchors
+ * each model's curve to the paper's reported Table I/II accuracies
+ * and interpolates between patterns using the *measured* mask
+ * similarity of our own sparsifiers — so pattern differences still
+ * come from executed algorithm code, only the absolute scale is
+ * calibrated. Documented in DESIGN.md ("Substitutions").
+ */
+
+#ifndef TBSTC_WORKLOAD_ACCURACY_MODEL_HPP
+#define TBSTC_WORKLOAD_ACCURACY_MODEL_HPP
+
+#include "core/pattern.hpp"
+#include "models.hpp"
+
+namespace tbstc::workload {
+
+/**
+ * Measured mask similarity of @p pattern with the unstructured mask
+ * at the same sparsity: position-wise agreement (1 - normalized L1
+ * distance), on a 256 x 256 synthetic structured weight matrix.
+ * This is the paper's Fig. 4(b) metric.
+ */
+double maskSimilarity(core::Pattern pattern, double sparsity, size_t m,
+                      uint64_t seed = 7);
+
+/** Dense (unpruned) accuracy of the model, % (paper Tables I/II). */
+double denseAccuracy(ModelId model);
+
+/**
+ * Proxy accuracy (%) of @p model pruned with @p pattern at
+ * @p sparsity. Monotone decreasing in sparsity; anchored to the
+ * paper's reported values at the table sparsity for US/TS/TBS and
+ * interpolated by measured mask similarity for other patterns.
+ */
+double proxyAccuracy(ModelId model, core::Pattern pattern,
+                     double sparsity, size_t m = 8);
+
+/**
+ * Largest sparsity at which @p pattern still achieves
+ * @p target_accuracy on @p model (bisection over proxyAccuracy);
+ * used by the iso-accuracy end-to-end comparison (paper Fig. 13).
+ */
+double isoAccuracySparsity(ModelId model, core::Pattern pattern,
+                           double target_accuracy, size_t m = 8);
+
+} // namespace tbstc::workload
+
+#endif // TBSTC_WORKLOAD_ACCURACY_MODEL_HPP

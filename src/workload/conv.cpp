@@ -1,0 +1,139 @@
+#include "conv.hpp"
+
+#include "util/logging.hpp"
+
+namespace tbstc::workload {
+
+using core::Matrix;
+using util::ensure;
+
+GemmShape
+loweredShape(const ConvSpec &spec, size_t block)
+{
+    GemmShape shape;
+    shape.name = spec.name;
+    shape.x = padTo(spec.cout, block);
+    shape.y = padTo(spec.patchSize(), block);
+    shape.nb = spec.outH() * spec.outW();
+    return shape;
+}
+
+Matrix
+im2col(const ConvSpec &spec, std::span<const float> image)
+{
+    ensure(image.size() == spec.cin * spec.h * spec.w,
+           "im2col: image size mismatch");
+    const uint64_t oh = spec.outH();
+    const uint64_t ow = spec.outW();
+    Matrix cols(oh * ow, spec.patchSize());
+    for (uint64_t oy = 0; oy < oh; ++oy) {
+        for (uint64_t ox = 0; ox < ow; ++ox) {
+            const size_t row = oy * ow + ox;
+            size_t col = 0;
+            for (uint64_t c = 0; c < spec.cin; ++c) {
+                for (uint64_t ky = 0; ky < spec.kh; ++ky) {
+                    for (uint64_t kx = 0; kx < spec.kw; ++kx, ++col) {
+                        const int64_t iy = static_cast<int64_t>(
+                            oy * spec.stride + ky)
+                            - static_cast<int64_t>(spec.pad);
+                        const int64_t ix = static_cast<int64_t>(
+                            ox * spec.stride + kx)
+                            - static_cast<int64_t>(spec.pad);
+                        if (iy < 0 || ix < 0
+                            || iy >= static_cast<int64_t>(spec.h)
+                            || ix >= static_cast<int64_t>(spec.w)) {
+                            cols.at(row, col) = 0.0f;
+                        } else {
+                            cols.at(row, col) = image
+                                [(c * spec.h + iy) * spec.w + ix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+std::vector<float>
+col2im(const ConvSpec &spec, const Matrix &cols)
+{
+    ensure(cols.rows() == spec.outH() * spec.outW()
+               && cols.cols() == spec.patchSize(),
+           "col2im: column matrix shape mismatch");
+    std::vector<float> image(spec.cin * spec.h * spec.w, 0.0f);
+    const uint64_t ow = spec.outW();
+    for (uint64_t oy = 0; oy < spec.outH(); ++oy) {
+        for (uint64_t ox = 0; ox < ow; ++ox) {
+            const size_t row = oy * ow + ox;
+            size_t col = 0;
+            for (uint64_t c = 0; c < spec.cin; ++c) {
+                for (uint64_t ky = 0; ky < spec.kh; ++ky) {
+                    for (uint64_t kx = 0; kx < spec.kw; ++kx, ++col) {
+                        const int64_t iy = static_cast<int64_t>(
+                            oy * spec.stride + ky)
+                            - static_cast<int64_t>(spec.pad);
+                        const int64_t ix = static_cast<int64_t>(
+                            ox * spec.stride + kx)
+                            - static_cast<int64_t>(spec.pad);
+                        if (iy >= 0 && ix >= 0
+                            && iy < static_cast<int64_t>(spec.h)
+                            && ix < static_cast<int64_t>(spec.w)) {
+                            image[(c * spec.h + iy) * spec.w + ix] +=
+                                cols.at(row, col);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return image;
+}
+
+std::vector<float>
+convReference(const ConvSpec &spec, const Matrix &weights,
+              std::span<const float> image)
+{
+    ensure(weights.rows() == spec.cout
+               && weights.cols() == spec.patchSize(),
+           "convReference: weight shape mismatch");
+    ensure(image.size() == spec.cin * spec.h * spec.w,
+           "convReference: image size mismatch");
+    const uint64_t oh = spec.outH();
+    const uint64_t ow = spec.outW();
+    std::vector<float> out(spec.cout * oh * ow, 0.0f);
+    for (uint64_t co = 0; co < spec.cout; ++co) {
+        for (uint64_t oy = 0; oy < oh; ++oy) {
+            for (uint64_t ox = 0; ox < ow; ++ox) {
+                double acc = 0.0;
+                size_t widx = 0;
+                for (uint64_t c = 0; c < spec.cin; ++c) {
+                    for (uint64_t ky = 0; ky < spec.kh; ++ky) {
+                        for (uint64_t kx = 0; kx < spec.kw;
+                             ++kx, ++widx) {
+                            const int64_t iy = static_cast<int64_t>(
+                                oy * spec.stride + ky)
+                                - static_cast<int64_t>(spec.pad);
+                            const int64_t ix = static_cast<int64_t>(
+                                ox * spec.stride + kx)
+                                - static_cast<int64_t>(spec.pad);
+                            if (iy < 0 || ix < 0
+                                || iy >= static_cast<int64_t>(spec.h)
+                                || ix >= static_cast<int64_t>(spec.w))
+                                continue;
+                            acc += static_cast<double>(
+                                       weights.at(co, widx))
+                                * image[(c * spec.h + iy) * spec.w
+                                        + ix];
+                        }
+                    }
+                }
+                out[(co * oh + oy) * ow + ox] =
+                    static_cast<float>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tbstc::workload

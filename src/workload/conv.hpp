@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Convolution-to-GEMM lowering (im2col).
+ *
+ * The paper evaluates ResNet by mapping each convolution onto the
+ * tensor core as a GEMM: the weight tensor (cout, cin, kh, kw)
+ * flattens to a (cout x cin*kh*kw) matrix and the input activations
+ * unfold into columns. This module implements that lowering both at
+ * the shape level (for the workload tables) and at the data level
+ * (for the NN framework's Conv2d layer): im2col, col2im, and a
+ * direct-convolution reference the tests validate against.
+ */
+
+#ifndef TBSTC_WORKLOAD_CONV_HPP
+#define TBSTC_WORKLOAD_CONV_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/matrix.hpp"
+#include "models.hpp"
+
+namespace tbstc::workload {
+
+/** A 2-D convolution layer specification. */
+struct ConvSpec
+{
+    std::string name = "conv";
+    uint64_t cin = 1;
+    uint64_t cout = 1;
+    uint64_t kh = 3;
+    uint64_t kw = 3;
+    uint64_t h = 8;  ///< Input height.
+    uint64_t w = 8;  ///< Input width.
+    uint64_t stride = 1;
+    uint64_t pad = 0;
+
+    uint64_t
+    outH() const
+    {
+        return (h + 2 * pad - kh) / stride + 1;
+    }
+
+    uint64_t
+    outW() const
+    {
+        return (w + 2 * pad - kw) / stride + 1;
+    }
+
+    /** Flattened weight-matrix reduction width: cin * kh * kw. */
+    uint64_t patchSize() const { return cin * kh * kw; }
+};
+
+/**
+ * The GEMM this convolution lowers to: A is (cout x cin*kh*kw) padded
+ * to the block grid, B has one column per output pixel.
+ */
+GemmShape loweredShape(const ConvSpec &spec, size_t block = 8);
+
+/**
+ * Unfold one input image (cin x h x w, stored as a 1 x cin*h*w row
+ * vector in CHW order) into im2col columns: the result has
+ * outH*outW rows and cin*kh*kw columns, so
+ * output = cols * W^T reproduces the convolution.
+ */
+core::Matrix im2col(const ConvSpec &spec,
+                    std::span<const float> image);
+
+/**
+ * Fold column-gradients back into an image gradient (the adjoint of
+ * im2col): input is (outH*outW x cin*kh*kw), output a 1 x cin*h*w
+ * CHW vector.
+ */
+std::vector<float> col2im(const ConvSpec &spec,
+                          const core::Matrix &cols);
+
+/**
+ * Direct (nested-loop) convolution reference: weights as a
+ * (cout x cin*kh*kw) matrix, image in CHW order; returns CHW output
+ * (cout x outH x outW) as a flat vector. Used to validate im2col.
+ */
+std::vector<float> convReference(const ConvSpec &spec,
+                                 const core::Matrix &weights,
+                                 std::span<const float> image);
+
+} // namespace tbstc::workload
+
+#endif // TBSTC_WORKLOAD_CONV_HPP

@@ -1,0 +1,58 @@
+#include "graph.hpp"
+
+#include "util/logging.hpp"
+
+namespace tbstc::workload {
+
+AttentionGeometry
+attentionGeometry(ModelId id)
+{
+    switch (id) {
+      case ModelId::BertBase: return {12, 64, 12};
+      case ModelId::Opt67b:   return {32, 128, 32};
+      case ModelId::Llama27b: return {32, 128, 32};
+      case ModelId::ResNet50:
+      case ModelId::ResNet18: return {0, 0, 0};
+    }
+    util::panic("unknown ModelId");
+}
+
+std::vector<InferenceOp>
+inferenceGraph(ModelId id, uint64_t seq)
+{
+    std::vector<InferenceOp> ops;
+    for (const auto &shape : modelLayers(id, seq))
+        ops.push_back({shape, true, 1.0});
+
+    const AttentionGeometry attn = attentionGeometry(id);
+    if (attn.heads > 0) {
+        // Per head and layer: scores = Q x K^T (seq x dh x seq) and
+        // context = scores x V (seq x seq x dh). Both operands are
+        // activations: dense regardless of weight sparsity.
+        const double mult =
+            static_cast<double>(attn.heads) * attn.layers;
+        ops.push_back({{modelName(id) + ".attn.qk",
+                        padTo(seq, 8), padTo(attn.headDim, 8), seq},
+                       false, mult});
+        ops.push_back({{modelName(id) + ".attn.pv",
+                        padTo(seq, 8), padTo(seq, 8), attn.headDim},
+                       false, mult});
+    }
+    return ops;
+}
+
+GraphMacs
+graphMacs(ModelId id, uint64_t seq)
+{
+    GraphMacs macs;
+    for (const auto &op : inferenceGraph(id, seq)) {
+        const double m = op.shape.macs() * op.count;
+        if (op.weightOp)
+            macs.weightMacs += m;
+        else
+            macs.activationMacs += m;
+    }
+    return macs;
+}
+
+} // namespace tbstc::workload

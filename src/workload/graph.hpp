@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Full inference graphs: weight GEMMs plus the activation-activation
+ * GEMMs (attention score and context products) that no weight-sparsity
+ * scheme accelerates.
+ *
+ * The paper's end-to-end numbers normalize per-GEMM work; this module
+ * lets a user additionally account for the dense attention ops when
+ * estimating whole-network latency — the honest denominator for
+ * Amdahl-style conclusions.
+ */
+
+#ifndef TBSTC_WORKLOAD_GRAPH_HPP
+#define TBSTC_WORKLOAD_GRAPH_HPP
+
+#include <vector>
+
+#include "models.hpp"
+
+namespace tbstc::workload {
+
+/** One GEMM node of the inference graph. */
+struct InferenceOp
+{
+    GemmShape shape;
+    bool weightOp = true; ///< Weight GEMM (prunable) vs activation GEMM.
+    double count = 1.0;   ///< Multiplicity (e.g. heads x layers).
+};
+
+/** Attention geometry per model. */
+struct AttentionGeometry
+{
+    uint64_t heads = 0;
+    uint64_t headDim = 0;
+    uint64_t layers = 0;
+};
+
+/** Published attention geometry of the transformer models. */
+AttentionGeometry attentionGeometry(ModelId id);
+
+/**
+ * The complete GEMM graph of one inference pass: every weight layer
+ * (from modelLayers()) plus, for transformers, per-layer QK^T and
+ * attention-x-V products at the given sequence length. CNNs have no
+ * activation GEMMs.
+ */
+std::vector<InferenceOp> inferenceGraph(ModelId id, uint64_t seq = 128);
+
+/** Total MACs of the graph, split into weight and activation shares. */
+struct GraphMacs
+{
+    double weightMacs = 0.0;
+    double activationMacs = 0.0;
+
+    double total() const { return weightMacs + activationMacs; }
+
+    /** Amdahl ceiling: max speedup if weight GEMMs became free. */
+    double
+    weightBoundSpeedupCeiling() const
+    {
+        return activationMacs > 0.0 ? total() / activationMacs
+                                    : 1e30;
+    }
+};
+
+GraphMacs graphMacs(ModelId id, uint64_t seq = 128);
+
+} // namespace tbstc::workload
+
+#endif // TBSTC_WORKLOAD_GRAPH_HPP

@@ -1,0 +1,194 @@
+#include "models.hpp"
+
+#include "util/fmt.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::workload {
+
+using util::formatStr;
+
+uint64_t
+padTo(uint64_t v, uint64_t m)
+{
+    return (v + m - 1) / m * m;
+}
+
+std::string
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::ResNet50: return "ResNet-50";
+      case ModelId::ResNet18: return "ResNet-18";
+      case ModelId::BertBase: return "BERT-base";
+      case ModelId::Opt67b:   return "OPT-6.7B";
+      case ModelId::Llama27b: return "Llama2-7B";
+    }
+    util::panic("unknown ModelId");
+}
+
+namespace {
+
+GemmShape
+conv(std::string name, uint64_t cout, uint64_t cin, uint64_t k,
+     uint64_t hw)
+{
+    return {std::move(name), padTo(cout, 8), padTo(cin * k * k, 8),
+            hw * hw};
+}
+
+std::vector<GemmShape>
+resnet50()
+{
+    // Bottleneck stages of ResNet-50 (ImageNet geometry); the 7x7 stem
+    // and the final FC are excluded from pruning per the paper.
+    std::vector<GemmShape> layers;
+    struct Stage
+    {
+        uint64_t width;   ///< Bottleneck width (e.g. 64).
+        uint64_t in;      ///< Input channels of the first block.
+        uint64_t blocks;
+        uint64_t hw;      ///< Output spatial edge.
+    };
+    const Stage stages[] = {
+        {64, 64, 3, 56},
+        {128, 256, 4, 28},
+        {256, 512, 6, 14},
+        {512, 1024, 3, 7},
+    };
+    for (size_t s = 0; s < 4; ++s) {
+        const Stage &st = stages[s];
+        const uint64_t out = st.width * 4;
+        for (uint64_t b = 0; b < st.blocks; ++b) {
+            const uint64_t cin = b == 0 ? st.in : out;
+            const std::string tag =
+                formatStr("conv{}_{}", s + 2, b + 1);
+            layers.push_back(
+                conv(tag + ".1x1a", st.width, cin, 1, st.hw));
+            layers.push_back(
+                conv(tag + ".3x3", st.width, st.width, 3, st.hw));
+            layers.push_back(
+                conv(tag + ".1x1b", out, st.width, 1, st.hw));
+            if (b == 0) {
+                layers.push_back(
+                    conv(tag + ".down", out, cin, 1, st.hw));
+            }
+        }
+    }
+    return layers;
+}
+
+std::vector<GemmShape>
+resnet18()
+{
+    std::vector<GemmShape> layers;
+    struct Stage
+    {
+        uint64_t width;
+        uint64_t in;
+        uint64_t hw;
+    };
+    const Stage stages[] = {
+        {64, 64, 56},
+        {128, 64, 28},
+        {256, 128, 14},
+        {512, 256, 7},
+    };
+    for (size_t s = 0; s < 4; ++s) {
+        const Stage &st = stages[s];
+        for (uint64_t b = 0; b < 2; ++b) {
+            const uint64_t cin = b == 0 ? st.in : st.width;
+            const std::string tag =
+                formatStr("conv{}_{}", s + 2, b + 1);
+            layers.push_back(
+                conv(tag + ".3x3a", st.width, cin, 3, st.hw));
+            layers.push_back(
+                conv(tag + ".3x3b", st.width, st.width, 3, st.hw));
+            if (b == 0 && s > 0) {
+                layers.push_back(
+                    conv(tag + ".down", st.width, cin, 1, st.hw));
+            }
+        }
+    }
+    return layers;
+}
+
+std::vector<GemmShape>
+transformer(const std::string &prefix, uint64_t layers, uint64_t d,
+            uint64_t ffn, bool gated, uint64_t seq)
+{
+    std::vector<GemmShape> out;
+    for (uint64_t l = 0; l < layers; ++l) {
+        const std::string tag = formatStr("{}.L{}.", prefix, l);
+        out.push_back({tag + "q", d, d, seq});
+        out.push_back({tag + "k", d, d, seq});
+        out.push_back({tag + "v", d, d, seq});
+        out.push_back({tag + "o", d, d, seq});
+        if (gated) {
+            out.push_back({tag + "gate", padTo(ffn, 8), d, seq});
+            out.push_back({tag + "up", padTo(ffn, 8), d, seq});
+            out.push_back({tag + "down", d, padTo(ffn, 8), seq});
+        } else {
+            out.push_back({tag + "fc1", padTo(ffn, 8), d, seq});
+            out.push_back({tag + "fc2", d, padTo(ffn, 8), seq});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<GemmShape>
+modelLayers(ModelId id, uint64_t seq)
+{
+    switch (id) {
+      case ModelId::ResNet50: return resnet50();
+      case ModelId::ResNet18: return resnet18();
+      case ModelId::BertBase:
+        return transformer("bert", 12, 768, 3072, false, seq);
+      case ModelId::Opt67b:
+        return transformer("opt", 32, 4096, 16384, false, seq);
+      case ModelId::Llama27b:
+        return transformer("llama", 32, 4096, 11008, true, seq);
+    }
+    util::panic("unknown ModelId");
+}
+
+std::vector<GemmShape>
+representativeLayers(ModelId id, uint64_t seq)
+{
+    switch (id) {
+      case ModelId::ResNet50:
+        return {
+            conv("conv2_2.3x3", 64, 64, 3, 56),
+            conv("conv3_2.3x3", 128, 128, 3, 28),
+            conv("conv4_2.3x3", 256, 256, 3, 14),
+            conv("conv5_2.3x3", 512, 512, 3, 7),
+        };
+      case ModelId::ResNet18:
+        return {
+            conv("conv2_1.3x3a", 64, 64, 3, 56),
+            conv("conv4_1.3x3a", 256, 128, 3, 14),
+        };
+      case ModelId::BertBase:
+        // The paper's Fig. 14 studies the 9th encoder layer.
+        return {
+            {"bert.L9.qkv", 768, 768, seq},
+            {"bert.L9.o", 768, 768, seq},
+            {"bert.L9.fc1", 3072, 768, seq},
+            {"bert.L9.fc2", 768, 3072, seq},
+        };
+      case ModelId::Opt67b:
+        return {
+            {"opt.L16.q", 4096, 4096, seq},
+            {"opt.L16.fc1", 16384, 4096, seq},
+        };
+      case ModelId::Llama27b:
+        return {
+            {"llama.L16.q", 4096, 4096, seq},
+            {"llama.L16.gate", 11008, 4096, seq},
+        };
+    }
+    util::panic("unknown ModelId");
+}
+
+} // namespace tbstc::workload

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DL-model workload tables: the GEMM shapes of every weight layer the
+ * paper evaluates (ResNet-50/18 via im2col, BERT-base, OPT-6.7B,
+ * Llama2-7B).
+ *
+ * Hardware benches only need layer *shapes*, which are public
+ * architecture facts; weights are synthesized (see synth.hpp).
+ * Shapes are padded up to the 8-element block grid exactly as a
+ * tensor-core kernel would pad them.
+ */
+
+#ifndef TBSTC_WORKLOAD_MODELS_HPP
+#define TBSTC_WORKLOAD_MODELS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbstc::workload {
+
+/** One weight GEMM: D(x,nb) = A(x,y) x B(y,nb). */
+struct GemmShape
+{
+    std::string name;
+    uint64_t x = 0;  ///< Output features (independent dimension of A).
+    uint64_t y = 0;  ///< Input features (reduction dimension of A).
+    uint64_t nb = 0; ///< Activation columns (tokens / spatial pixels).
+
+    /** MACs of the dense GEMM. */
+    double
+    macs() const
+    {
+        return static_cast<double>(x) * static_cast<double>(y)
+            * static_cast<double>(nb);
+    }
+};
+
+/** Model identifiers used across benches. */
+enum class ModelId : uint8_t
+{
+    ResNet50,
+    ResNet18,
+    BertBase,
+    Opt67b,
+    Llama27b,
+};
+
+/** Human-readable model name. */
+std::string modelName(ModelId id);
+
+/**
+ * All prunable weight GEMMs of the model (stem and classifier
+ * excluded, matching the paper's pruning setup).
+ *
+ * @param seq Sequence length / batch-pixels knob for transformer
+ *     models; ignored by the CNNs (their nb is the conv output size).
+ */
+std::vector<GemmShape> modelLayers(ModelId id, uint64_t seq = 128);
+
+/**
+ * A small representative layer subset for layer-wise studies
+ * (paper Fig. 12 picks "typical layers").
+ */
+std::vector<GemmShape> representativeLayers(ModelId id,
+                                            uint64_t seq = 128);
+
+/** Round @p v up to a multiple of @p m. */
+uint64_t padTo(uint64_t v, uint64_t m);
+
+} // namespace tbstc::workload
+
+#endif // TBSTC_WORKLOAD_MODELS_HPP

@@ -1,0 +1,152 @@
+#include "profile_builder.hpp"
+
+#include <algorithm>
+
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "synth.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::workload {
+
+using core::Mask;
+using core::Matrix;
+using core::Pattern;
+using core::SparsityDim;
+using core::TbsMeta;
+using format::StorageFormat;
+using sim::BlockTask;
+using sim::LayerProfile;
+
+core::TbsMeta
+deriveMeta(const Mask &mask, size_t m)
+{
+    util::ensure(mask.rows() % m == 0 && mask.cols() % m == 0,
+                 "deriveMeta requires block-divisible mask");
+    TbsMeta meta;
+    meta.m = m;
+    meta.blockRows = mask.rows() / m;
+    meta.blockCols = mask.cols() / m;
+    meta.blocks.resize(meta.blockRows * meta.blockCols);
+    for (size_t br = 0; br < meta.blockRows; ++br) {
+        for (size_t bc = 0; bc < meta.blockCols; ++bc) {
+            size_t max_row = 0;
+            for (size_t r = 0; r < m; ++r) {
+                size_t row_nnz = 0;
+                for (size_t c = 0; c < m; ++c)
+                    row_nnz += mask.at(br * m + r, bc * m + c);
+                max_row = std::max(max_row, row_nnz);
+            }
+            meta.block(br, bc) = {static_cast<uint8_t>(max_row),
+                                  SparsityDim::Reduction};
+        }
+    }
+    return meta;
+}
+
+LayerProfile
+buildLayerProfile(const ProfileSpec &spec)
+{
+    const size_t m = spec.m;
+    const GemmShape &shape = spec.shape;
+
+    // Row-sample huge layers on the block grid.
+    uint64_t rows = shape.x;
+    if (spec.maxElements > 0 && shape.x * shape.y > spec.maxElements) {
+        rows = std::max<uint64_t>(m,
+                                  spec.maxElements / shape.y / m * m);
+    }
+    const double scale =
+        static_cast<double>(shape.x) / static_cast<double>(rows);
+
+    const Matrix w = synthWeights(shape, spec.seed, rows);
+    const Matrix scores = core::magnitudeScores(w);
+    const std::vector<uint8_t> cand = core::defaultCandidates(m);
+
+    Mask mask;
+    TbsMeta meta;
+    if (spec.pattern == Pattern::TBS) {
+        core::TbsResult res =
+            core::tbsMask(scores, spec.sparsity, m, cand);
+        mask = std::move(res.mask);
+        meta = std::move(res.meta);
+    } else {
+        mask = core::patternMask(spec.pattern, scores, spec.sparsity, m,
+                                 cand);
+        meta = deriveMeta(mask, m);
+    }
+
+    if (spec.densifyIndependent) {
+        // Hardware without codec/MBD support cannot exploit (or even
+        // index) independent-dimension blocks; they fall back to dense.
+        for (size_t br = 0; br < meta.blockRows; ++br) {
+            for (size_t bc = 0; bc < meta.blockCols; ++bc) {
+                auto &info = meta.block(br, bc);
+                if (info.dim == SparsityDim::Independent && info.n > 0
+                    && info.n < m) {
+                    info = {static_cast<uint8_t>(m),
+                            SparsityDim::Reduction};
+                    for (size_t r = 0; r < m; ++r)
+                        for (size_t c = 0; c < m; ++c)
+                            mask.at(br * m + r, bc * m + c) = 1;
+                }
+            }
+        }
+    }
+
+    // Block tasks.
+    LayerProfile profile;
+    profile.x = shape.x;
+    profile.y = shape.y;
+    profile.nb = shape.nb;
+    profile.m = m;
+    profile.sampleScale = scale;
+    profile.aNnz = mask.nnz();
+    profile.blocks.reserve(meta.blocks.size());
+    for (size_t br = 0; br < meta.blockRows; ++br) {
+        for (size_t bc = 0; bc < meta.blockCols; ++bc) {
+            const auto &info = meta.block(br, bc);
+            BlockTask task;
+            size_t nnz = 0;
+            size_t nonempty = 0;
+            for (size_t r = 0; r < m; ++r) {
+                size_t row_nnz = 0;
+                for (size_t c = 0; c < m; ++c)
+                    row_nnz += mask.at(br * m + r, bc * m + c);
+                nnz += row_nnz;
+                nonempty += row_nnz > 0;
+            }
+            task.nnz = static_cast<uint16_t>(nnz);
+            task.n = info.n;
+            task.nonemptyRows = static_cast<uint8_t>(nonempty);
+            task.independentDim = info.dim == SparsityDim::Independent
+                && info.n > 0 && info.n < m;
+            profile.blocks.push_back(task);
+        }
+    }
+
+    // Storage-format stream profile.
+    std::unique_ptr<format::Encoding> enc;
+    switch (spec.fmt) {
+      case StorageFormat::Dense:
+        enc = format::encodeDense(w);
+        break;
+      case StorageFormat::SDC:
+        enc = format::encodeSdc(w, mask);
+        break;
+      case StorageFormat::CSR:
+        enc = format::encodeCsr(w, mask);
+        break;
+      case StorageFormat::DDC:
+        enc = format::encodeDdc(w, mask, meta);
+        break;
+      case StorageFormat::Bitmap:
+        enc = format::encodeBitmap(w, mask);
+        break;
+    }
+    util::ensure(enc != nullptr, "unknown storage format");
+    profile.aStream = enc->streamProfile(m);
+    return profile;
+}
+
+} // namespace tbstc::workload

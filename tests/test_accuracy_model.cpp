@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the calibrated accuracy proxy used by hardware benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/accuracy_model.hpp"
+
+namespace {
+
+using namespace tbstc::workload;
+using tbstc::core::Pattern;
+
+TEST(AccuracyModel, SimilarityOrdering)
+{
+    for (double s : {0.5, 0.75}) {
+        const double ts = maskSimilarity(Pattern::TS, s, 8);
+        const double tbs = maskSimilarity(Pattern::TBS, s, 8);
+        EXPECT_GT(tbs, ts) << s;
+        EXPECT_DOUBLE_EQ(maskSimilarity(Pattern::US, s, 8), 1.0);
+    }
+}
+
+TEST(AccuracyModel, TbsSimilarityMatchesFig4b)
+{
+    // Paper Fig. 4(b): TBS mask similarity with US is 85.31%-91.62%.
+    const double sim = maskSimilarity(Pattern::TBS, 0.75, 8);
+    EXPECT_GT(sim, 0.80);
+    EXPECT_LT(sim, 0.97);
+}
+
+TEST(AccuracyModel, AnchorsReproduced)
+{
+    // At the table sparsity the proxy must return the paper's numbers
+    // for Dense/US/TBS (TS is fitted within the gap model).
+    EXPECT_DOUBLE_EQ(denseAccuracy(ModelId::BertBase), 92.32);
+    EXPECT_NEAR(proxyAccuracy(ModelId::BertBase, Pattern::US, 0.50),
+                91.43, 1e-6);
+    EXPECT_NEAR(proxyAccuracy(ModelId::BertBase, Pattern::TS, 0.50),
+                90.25, 1e-6);
+    EXPECT_NEAR(proxyAccuracy(ModelId::BertBase, Pattern::TBS, 0.50),
+                91.38, 0.25);
+    EXPECT_NEAR(proxyAccuracy(ModelId::ResNet50, Pattern::US, 0.75),
+                94.93, 1e-6);
+}
+
+TEST(AccuracyModel, MonotoneInSparsity)
+{
+    for (Pattern p : {Pattern::US, Pattern::TS, Pattern::TBS}) {
+        double prev = 101.0;
+        for (double s : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+            const double acc = proxyAccuracy(ModelId::Opt67b, p, s);
+            EXPECT_LE(acc, prev + 1e-9);
+            prev = acc;
+        }
+    }
+}
+
+TEST(AccuracyModel, PatternOrderingAtAnchor)
+{
+    for (ModelId m : {ModelId::BertBase, ModelId::Opt67b,
+                      ModelId::Llama27b}) {
+        const double s = 0.5;
+        const double us = proxyAccuracy(m, Pattern::US, s);
+        const double tbs = proxyAccuracy(m, Pattern::TBS, s);
+        const double rsv = proxyAccuracy(m, Pattern::RSV, s);
+        const double ts = proxyAccuracy(m, Pattern::TS, s);
+        EXPECT_GE(us + 1e-9, tbs);
+        EXPECT_GT(tbs, ts);
+        EXPECT_GE(tbs + 0.6, rsv); // RSV may tie TBS within noise.
+        EXPECT_GE(rsv + 0.6, ts);
+    }
+}
+
+TEST(AccuracyModel, DenseUnaffectedBySparsity)
+{
+    EXPECT_DOUBLE_EQ(
+        proxyAccuracy(ModelId::ResNet50, Pattern::Dense, 0.9),
+        95.04);
+}
+
+TEST(IsoAccuracy, InvertsTheProxy)
+{
+    const double target =
+        proxyAccuracy(ModelId::BertBase, Pattern::TBS, 0.6);
+    const double s =
+        isoAccuracySparsity(ModelId::BertBase, Pattern::TBS, target);
+    EXPECT_NEAR(s, 0.6, 0.02);
+}
+
+TEST(IsoAccuracy, BetterPatternsTolerateMoreSparsity)
+{
+    // At the accuracy US reaches at 50%, TBS must sustain a higher
+    // sparsity than TS — the very lever of paper Fig. 13.
+    const double target =
+        proxyAccuracy(ModelId::Opt67b, Pattern::US, 0.45);
+    const double s_tbs =
+        isoAccuracySparsity(ModelId::Opt67b, Pattern::TBS, target);
+    const double s_ts =
+        isoAccuracySparsity(ModelId::Opt67b, Pattern::TS, target);
+    EXPECT_GT(s_tbs, s_ts);
+}
+
+TEST(IsoAccuracy, Saturates)
+{
+    EXPECT_DOUBLE_EQ(
+        isoAccuracySparsity(ModelId::BertBase, Pattern::TBS, 0.0),
+        0.95);
+    EXPECT_DOUBLE_EQ(
+        isoAccuracySparsity(ModelId::BertBase, Pattern::TBS, 99.9),
+        0.0);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra (Cholesky, SPD inverse, Gram).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/linalg.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tbstc::core;
+using tbstc::util::FatalError;
+using tbstc::util::Rng;
+
+/** Random SPD matrix A = B * B^T + eps * I. */
+Matrix
+randomSpd(size_t n, Rng &rng)
+{
+    Matrix b(n, n);
+    for (auto &v : b.data())
+        v = static_cast<float>(rng.gaussian());
+    Matrix a = matmul(b, b.transposed());
+    for (size_t i = 0; i < n; ++i)
+        a.at(i, i) += 0.5f;
+    return a;
+}
+
+TEST(Cholesky, ReconstructsMatrix)
+{
+    Rng rng(1);
+    const Matrix a = randomSpd(12, rng);
+    const Matrix l = choleskyLower(a);
+    const Matrix rec = matmul(l, l.transposed());
+    EXPECT_LT(maxAbsDiff(rec, a), 1e-3);
+}
+
+TEST(Cholesky, LowerIsTriangular)
+{
+    Rng rng(2);
+    const Matrix l = choleskyLower(randomSpd(8, rng));
+    for (size_t i = 0; i < 8; ++i)
+        for (size_t j = i + 1; j < 8; ++j)
+            EXPECT_EQ(l.at(i, j), 0.0f);
+}
+
+TEST(Cholesky, UpperMatchesLowerTransposed)
+{
+    Rng rng(3);
+    const Matrix a = randomSpd(6, rng);
+    EXPECT_EQ(choleskyUpper(a), choleskyLower(a).transposed());
+}
+
+TEST(Cholesky, RejectsIndefinite)
+{
+    Matrix a(2, 2, {1.0f, 2.0f, 2.0f, 1.0f}); // Eigenvalues 3, -1.
+    EXPECT_THROW(choleskyLower(a), FatalError);
+}
+
+TEST(SpdInverse, ProducesIdentity)
+{
+    Rng rng(4);
+    const Matrix a = randomSpd(10, rng);
+    const Matrix inv = spdInverse(a);
+    const Matrix prod = matmul(a, inv);
+    EXPECT_LT(maxAbsDiff(prod, identity(10)), 1e-2);
+}
+
+TEST(SpdInverse, DiagonalCase)
+{
+    Matrix a(2, 2, {4.0f, 0.0f, 0.0f, 0.25f});
+    const Matrix inv = spdInverse(a);
+    EXPECT_NEAR(inv.at(0, 0), 0.25f, 1e-6);
+    EXPECT_NEAR(inv.at(1, 1), 4.0f, 1e-6);
+    EXPECT_NEAR(inv.at(0, 1), 0.0f, 1e-6);
+}
+
+TEST(Gram, IsSymmetricPositiveDefinite)
+{
+    Rng rng(5);
+    Matrix x(40, 16);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian());
+    const Matrix h = gramFromActivations(x);
+    for (size_t i = 0; i < 16; ++i)
+        for (size_t j = 0; j < 16; ++j)
+            EXPECT_NEAR(h.at(i, j), h.at(j, i), 1e-5);
+    EXPECT_NO_THROW(choleskyLower(h));
+}
+
+TEST(Gram, MatchesDirectComputation)
+{
+    Matrix x(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+    const Matrix h = gramFromActivations(x, 0.0);
+    // H = X^T X / n (damping zero; diagonal floor only if <= 0).
+    EXPECT_NEAR(h.at(0, 0), (1.0 + 9.0) / 2.0, 1e-5);
+    EXPECT_NEAR(h.at(0, 1), (2.0 + 12.0) / 2.0, 1e-5);
+    EXPECT_NEAR(h.at(1, 1), (4.0 + 16.0) / 2.0, 1e-5);
+}
+
+TEST(Gram, RankDeficientStillFactorizable)
+{
+    // One sample in 8 dims: rank-1 Gram; damping must rescue it.
+    Matrix x(1, 8);
+    for (size_t f = 0; f < 8; ++f)
+        x.at(0, f) = 1.0f;
+    const Matrix h = gramFromActivations(x, 0.05);
+    EXPECT_NO_THROW(choleskyLower(h));
+}
+
+TEST(Identity, Basic)
+{
+    const Matrix i = identity(3);
+    EXPECT_EQ(i.at(0, 0), 1.0f);
+    EXPECT_EQ(i.at(0, 1), 0.0f);
+    const Matrix a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    EXPECT_EQ(matmul(a, i), a);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the mask-space formulas (paper Eqs. (1)-(4)) and
+ * block statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/maskspace.hpp"
+#include "util/combinatorics.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tbstc::core;
+using tbstc::util::chooseExact;
+
+TEST(MaskSpace, TsSingleTileMatchesBinomialLadder)
+{
+    // One 1 x M tile: MS_TS = sum_i C(M, 2^i).
+    const size_t m = 8;
+    uint64_t expect = 0;
+    for (uint64_t n = 1; n <= m; n *= 2)
+        expect += chooseExact(m, n);
+    EXPECT_NEAR(log2MaskSpaceTs(1, m, m),
+                std::log2(static_cast<double>(expect)), 1e-9);
+}
+
+TEST(MaskSpace, TileEnumerationMatchesChoose)
+{
+    for (size_t n : {1u, 2u, 4u, 8u})
+        EXPECT_EQ(bruteForceTileMasks(8, n), chooseExact(8, n));
+}
+
+TEST(MaskSpace, TbsSingleBlockFormulaVsBruteForce)
+{
+    // For one M x M block the formula counts sum_i 2 * C(M, 2^i)^M,
+    // which double-counts masks expressible in both directions; the
+    // brute-force distinct count must be <= the formula and > half.
+    const size_t m = 2;
+    const double formula = log2MaskSpaceTbs(m, m, m);
+    const double brute =
+        std::log2(static_cast<double>(bruteForceTbsBlockMasks(m)));
+    EXPECT_GE(formula + 1e-9, brute);
+    EXPECT_LE(formula, brute + 1.0); // Overcount at most 2x.
+}
+
+TEST(MaskSpace, TbsLargerThanRowWiseThanTileWise)
+{
+    // The representation-space ordering of paper Fig. 4(a):
+    // TS < RS-V < TBS < US for a square matrix.
+    const size_t x = 64;
+    const size_t y = 64;
+    const size_t m = 8;
+    const double ts = log2MaskSpaceTs(x, y, m);
+    const double rsv = log2MaskSpaceRsv(x, y, m);
+    const double tbs = log2MaskSpaceTbs(x, y, m);
+    const double us = log2MaskSpaceUs(x, y);
+    EXPECT_LT(ts, rsv);
+    EXPECT_LT(rsv, tbs);
+    EXPECT_LT(tbs, us);
+}
+
+TEST(MaskSpace, RshBetweenTsAndTbs)
+{
+    const size_t x = 64;
+    const size_t y = 64;
+    const size_t m = 8;
+    const double ts = log2MaskSpaceTs(x, y, m);
+    const double rsh = log2MaskSpaceRsh(x, y, m);
+    const double tbs = log2MaskSpaceTbs(x, y, m);
+    // RS-H's dominant term coincides with TS's 4:8 term at these
+    // dimensions, so the comparison is >= rather than strict.
+    EXPECT_GE(rsh, ts);
+    EXPECT_LT(rsh, tbs + 1e6); // RS-H is large but bounded.
+    EXPECT_GT(tbs, 0.0);
+    EXPECT_GT(rsh, 0.0);
+}
+
+TEST(MaskSpace, ScalesLinearlyInArea)
+{
+    // log2 MS is proportional to the number of independent units, so
+    // doubling the matrix area doubles it.
+    const double one = log2MaskSpaceTbs(32, 32, 8);
+    const double two = log2MaskSpaceTbs(64, 32, 8);
+    EXPECT_NEAR(two, 2.0 * one, 1e-6);
+}
+
+TEST(MaskSpace, DispatchMatchesDirectCalls)
+{
+    EXPECT_EQ(log2MaskSpace(Pattern::TS, 32, 32, 8),
+              log2MaskSpaceTs(32, 32, 8));
+    EXPECT_EQ(log2MaskSpace(Pattern::RSV, 32, 32, 8),
+              log2MaskSpaceRsv(32, 32, 8));
+    EXPECT_EQ(log2MaskSpace(Pattern::RSH, 32, 32, 8),
+              log2MaskSpaceRsh(32, 32, 8));
+    EXPECT_EQ(log2MaskSpace(Pattern::TBS, 32, 32, 8),
+              log2MaskSpaceTbs(32, 32, 8));
+    EXPECT_EQ(log2MaskSpace(Pattern::US, 32, 32, 8), 32.0 * 32.0);
+    EXPECT_EQ(log2MaskSpace(Pattern::Dense, 32, 32, 8), 0.0);
+}
+
+TEST(MaskSpace, RequiresPowerOfTwoM)
+{
+    EXPECT_THROW(log2MaskSpaceTbs(32, 32, 6),
+                 tbstc::util::PanicError);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the matrix/mask containers and the reference GEMM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tbstc::core;
+using tbstc::util::PanicError;
+using tbstc::util::Rng;
+
+TEST(Matrix, ConstructAndIndex)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m.at(1, 2) = 5.0f;
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_EQ(m.at(0, 0), 0.0f);
+}
+
+TEST(Matrix, FromDataValidatesSize)
+{
+    EXPECT_THROW(Matrix(2, 2, {1.0f, 2.0f}), PanicError);
+    Matrix m(1, 2, {1.0f, 2.0f});
+    EXPECT_EQ(m.at(0, 1), 2.0f);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.at(2, 1), 6.0f);
+    EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, Norms)
+{
+    Matrix m(1, 2, {3.0f, -4.0f});
+    EXPECT_DOUBLE_EQ(m.absSum(), 7.0);
+    EXPECT_DOUBLE_EQ(m.frobenius(), 5.0);
+}
+
+TEST(Matrix, MatmulKnown)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    const Matrix d = matmul(a, b);
+    EXPECT_EQ(d.at(0, 0), 19.0f);
+    EXPECT_EQ(d.at(0, 1), 22.0f);
+    EXPECT_EQ(d.at(1, 0), 43.0f);
+    EXPECT_EQ(d.at(1, 1), 50.0f);
+}
+
+TEST(Matrix, MatmulWithBias)
+{
+    Matrix a(1, 1, {2.0f});
+    Matrix b(1, 1, {3.0f});
+    Matrix c(1, 1, {10.0f});
+    EXPECT_EQ(matmul(a, b, &c).at(0, 0), 16.0f);
+}
+
+TEST(Matrix, MatmulShapeChecked)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 2);
+    EXPECT_THROW(matmul(a, b), PanicError);
+}
+
+TEST(Matrix, MatmulSkipsZerosCorrectly)
+{
+    // The zero-skip fast path must not change results.
+    Rng rng(1);
+    Matrix a(4, 5);
+    Matrix b(5, 3);
+    for (auto &v : a.data())
+        v = rng.uniform() < 0.5 ? 0.0f
+                                : static_cast<float>(rng.gaussian());
+    for (auto &v : b.data())
+        v = static_cast<float>(rng.gaussian());
+    const Matrix d = matmul(a, b);
+    for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < 3; ++j) {
+            double ref = 0.0;
+            for (size_t k = 0; k < 5; ++k)
+                ref += static_cast<double>(a.at(i, k)) * b.at(k, j);
+            EXPECT_NEAR(d.at(i, j), ref, 1e-4);
+        }
+    }
+}
+
+TEST(Mask, NnzAndSparsity)
+{
+    Mask m(2, 4);
+    EXPECT_EQ(m.nnz(), 0u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 1.0);
+    m.at(0, 0) = 1;
+    m.at(1, 3) = 1;
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_DOUBLE_EQ(m.sparsity(), 0.75);
+}
+
+TEST(Mask, Overlap)
+{
+    Mask a(1, 4);
+    Mask b(1, 4);
+    a.at(0, 0) = a.at(0, 1) = 1;
+    b.at(0, 1) = b.at(0, 2) = 1;
+    EXPECT_DOUBLE_EQ(a.overlap(b), 0.5);
+    EXPECT_DOUBLE_EQ(b.overlap(a), 0.5);
+}
+
+TEST(Mask, OverlapWithEmptyIsOne)
+{
+    Mask a(1, 4);
+    Mask b(1, 4);
+    a.at(0, 0) = 1;
+    EXPECT_DOUBLE_EQ(a.overlap(b), 1.0);
+}
+
+TEST(Mask, TransposeRoundTrip)
+{
+    Mask m(2, 3);
+    m.at(0, 2) = 1;
+    const Mask t = m.transposed();
+    EXPECT_EQ(t.at(2, 0), 1);
+    EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(ApplyMask, ZeroesDropped)
+{
+    Matrix w(1, 3, {1.0f, 2.0f, 3.0f});
+    Mask m(1, 3);
+    m.at(0, 1) = 1;
+    const Matrix out = applyMask(w, m);
+    EXPECT_EQ(out.at(0, 0), 0.0f);
+    EXPECT_EQ(out.at(0, 1), 2.0f);
+    EXPECT_EQ(out.at(0, 2), 0.0f);
+}
+
+TEST(MaxAbsDiff, Computes)
+{
+    Matrix a(1, 2, {1.0f, 5.0f});
+    Matrix b(1, 2, {1.5f, 4.0f});
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Golden-value regression tests: the library promises bit-identical
+ * reproduction of every experiment, so pin exact values of the
+ * deterministic primitives. A failure here means results published
+ * from an earlier build are no longer reproducible — treat any golden
+ * update as a breaking change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prune.hpp"
+#include "sim/pipeline.hpp"
+#include "core/sparsify.hpp"
+#include "util/rng.hpp"
+#include "workload/accuracy_model.hpp"
+#include "workload/profile_builder.hpp"
+#include "workload/synth.hpp"
+
+namespace {
+
+using namespace tbstc;
+
+/** FNV-1a over a byte view. */
+template <typename T>
+uint64_t
+hashBytes(std::span<const T> data)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    const auto *bytes = reinterpret_cast<const uint8_t *>(data.data());
+    for (size_t i = 0; i < data.size() * sizeof(T); ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+TEST(Golden, RngStream)
+{
+    // xoshiro256** seeded through SplitMix64: platform-independent.
+    util::Rng rng(42);
+    EXPECT_EQ(rng.next(), 0x15780b2e0c2ec716ull);
+    EXPECT_EQ(rng.next(), 0x6104d9866d113a7eull);
+    rng = util::Rng(0);
+    uint64_t last = 0;
+    for (int i = 0; i < 1000; ++i)
+        last = rng.next();
+    EXPECT_EQ(last, 0x7aac8c483a2edd2full);
+}
+
+TEST(Golden, SynthWeightsHash)
+{
+    const auto w = workload::synthWeights({"golden", 64, 64, 1}, 7);
+    EXPECT_EQ(hashBytes(std::span<const float>(w.data())),
+              0x763a851695fbf636ull);
+}
+
+TEST(Golden, TbsMaskHash)
+{
+    const auto w = workload::synthWeights({"golden", 64, 64, 1}, 7);
+    const auto res = core::tbsMask(core::magnitudeScores(w), 0.75, 8,
+                                   core::defaultCandidates(8));
+    EXPECT_EQ(hashBytes(res.mask.data()), 0x9bd674c42093ae19ull);
+    EXPECT_EQ(res.mask.nnz(), 1024u);
+}
+
+TEST(Golden, SimulatedCycles)
+{
+    workload::ProfileSpec spec;
+    spec.shape = {"golden-sim", 256, 256, 64};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = 0.5;
+    spec.fmt = format::StorageFormat::DDC;
+    const auto profile = workload::buildLayerProfile(spec);
+    const auto stats = sim::simulateLayer(profile, sim::ArchConfig{});
+    // Cycle counts are exact integers in double form.
+    EXPECT_EQ(stats.cycles, stats.cycles); // NaN guard.
+    EXPECT_EQ(static_cast<long long>(stats.cycles),
+              static_cast<long long>(
+                  sim::simulateLayer(profile, sim::ArchConfig{})
+                      .cycles));
+}
+
+TEST(Golden, MaskSimilarityStable)
+{
+    const double a = workload::maskSimilarity(core::Pattern::TBS, 0.75, 8);
+    const double b = workload::maskSimilarity(core::Pattern::TBS, 0.75, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0.80);
+}
+
+TEST(Golden, EndToEndRunIsBitStable)
+{
+    // Two fresh runs of the same request agree to the last bit.
+    workload::ProfileSpec spec;
+    spec.shape = {"golden-e2e", 128, 128, 32};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = 0.625;
+    spec.fmt = format::StorageFormat::DDC;
+    const auto p1 = workload::buildLayerProfile(spec);
+    const auto p2 = workload::buildLayerProfile(spec);
+    ASSERT_EQ(p1.blocks.size(), p2.blocks.size());
+    for (size_t i = 0; i < p1.blocks.size(); ++i) {
+        EXPECT_EQ(p1.blocks[i].nnz, p2.blocks[i].nnz);
+        EXPECT_EQ(p1.blocks[i].n, p2.blocks[i].n);
+    }
+    EXPECT_EQ(p1.aStream.payloadBytes, p2.aStream.payloadBytes);
+    const auto s1 = sim::simulateLayer(p1, sim::ArchConfig{});
+    const auto s2 = sim::simulateLayer(p2, sim::ArchConfig{});
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    EXPECT_EQ(s1.energy.totalJ(), s2.energy.totalJ());
+    EXPECT_EQ(s1.edp, s2.edp);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the byte-exact DDC serializer (paper Fig. 8 layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "format/encoding.hpp"
+#include "format/serialize.hpp"
+#include "util/fp16.hpp"
+#include "util/logging.hpp"
+#include "workload/synth.hpp"
+
+namespace {
+
+using namespace tbstc;
+using core::Matrix;
+
+struct Fixture
+{
+    Matrix w;
+    core::TbsResult tbs;
+
+    explicit Fixture(uint64_t seed, size_t rows = 64, size_t cols = 64,
+                     double sparsity = 0.5)
+    {
+        w = workload::synthWeights({"ser-probe", rows, cols, 1}, seed);
+        tbs = core::tbsMask(core::magnitudeScores(w), sparsity, 8,
+                            core::defaultCandidates(8));
+    }
+};
+
+/** fp16-round every element (the serializer's payload precision). */
+Matrix
+fp16Rounded(const Matrix &m)
+{
+    Matrix out = m;
+    for (auto &v : out.data())
+        v = util::fp16Round(v);
+    return out;
+}
+
+TEST(SerializeDdc, RoundTripMatrix)
+{
+    Fixture f(1);
+    const auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+    const auto parsed = format::deserializeDdc(bytes);
+    EXPECT_EQ(parsed.matrix,
+              fp16Rounded(core::applyMask(f.w, f.tbs.mask)));
+}
+
+TEST(SerializeDdc, RoundTripMeta)
+{
+    Fixture f(2);
+    const auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+    const auto parsed = format::deserializeDdc(bytes);
+    ASSERT_EQ(parsed.meta.blocks.size(), f.tbs.meta.blocks.size());
+    EXPECT_EQ(parsed.meta.m, f.tbs.meta.m);
+    for (size_t b = 0; b < parsed.meta.blocks.size(); ++b) {
+        EXPECT_EQ(parsed.meta.blocks[b].n, f.tbs.meta.blocks[b].n);
+        EXPECT_EQ(parsed.meta.blocks[b].dim, f.tbs.meta.blocks[b].dim);
+    }
+}
+
+TEST(SerializeDdc, RoundTripMask)
+{
+    // Synthetic weights are never exactly zero, so the mask survives.
+    Fixture f(3, 64, 64, 0.75);
+    const auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+    const auto parsed = format::deserializeDdc(bytes);
+    EXPECT_EQ(parsed.mask, f.tbs.mask);
+}
+
+TEST(SerializeDdc, LargeMatrixCrossesGroups)
+{
+    // 1024 blocks > the 63-block offset group: exercises group bases.
+    Fixture f(4, 256, 256, 0.625);
+    const auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+    const auto parsed = format::deserializeDdc(bytes);
+    EXPECT_EQ(parsed.matrix,
+              fp16Rounded(core::applyMask(f.w, f.tbs.mask)));
+    EXPECT_EQ(parsed.mask, f.tbs.mask);
+}
+
+TEST(SerializeDdc, ByteSizeTracksEncodingModel)
+{
+    // The real stream should be close to the cost model's estimate
+    // (header + group bases are the only extras).
+    Fixture f(5, 128, 128, 0.75);
+    const auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+    const auto model =
+        format::encodeDdc(f.w, f.tbs.mask, f.tbs.meta)->storageBytes();
+    EXPECT_GT(bytes.size(), model);
+    EXPECT_LT(bytes.size(), model + 256);
+}
+
+TEST(SerializeDdc, InfoTableBitLayout)
+{
+    // One 16x8 matrix with two blocks: verify the 1/3/12-bit fields
+    // land where Fig. 8 puts them.
+    Matrix w(16, 8);
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = static_cast<float>(i + 1);
+    const auto res =
+        core::tbsMask(core::magnitudeScores(w), 0.0, 8,
+                      core::defaultCandidates(8)); // Fully dense: 8:8.
+    const auto bytes = format::serializeDdc(w, res.mask, res.meta);
+
+    // Header: magic(4) rows(4) cols(4) m(4) group(4) ladder_size(1)
+    // ladder(1: only N=8) -> group bases (1 group x 4) -> info.
+    const size_t info_at = 4 + 4 + 4 + 4 + 4 + 1 + 1 + 4;
+    const uint16_t e0 = static_cast<uint16_t>(
+        bytes[info_at] | (bytes[info_at + 1] << 8));
+    const uint16_t e1 = static_cast<uint16_t>(
+        bytes[info_at + 2] | (bytes[info_at + 3] << 8));
+    EXPECT_EQ(e0 & 0x8000, 0);      // Reduction dim.
+    EXPECT_EQ((e0 >> 12) & 7, 0);   // Ladder index 0 (N = 8).
+    EXPECT_EQ(e0 & 0x0fff, 0);      // First block at offset 0.
+    EXPECT_EQ(e1 & 0x0fff, 64u);    // Second block after 64 elements.
+}
+
+TEST(SerializeDdc, RejectsInvalidMask)
+{
+    Fixture f(6);
+    core::Mask bad = f.tbs.mask;
+    // Overfill one group beyond its N.
+    for (size_t c = 0; c < 8; ++c)
+        bad.at(0, c) = 1;
+    if (f.tbs.meta.block(0, 0).n < 8) {
+        EXPECT_THROW(format::serializeDdc(f.w, bad, f.tbs.meta),
+                     util::FatalError);
+    }
+}
+
+TEST(DeserializeDdc, RejectsCorruption)
+{
+    Fixture f(7);
+    auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+
+    // Bad magic.
+    auto bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    EXPECT_THROW(format::deserializeDdc(bad_magic), util::FatalError);
+
+    // Truncation.
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + 16);
+    EXPECT_THROW(format::deserializeDdc(truncated), util::FatalError);
+
+    // Corrupt an info-table offset: the offset chain check trips.
+    auto bad_info = bytes;
+    // Locate the first info entry: header + ladder + group bases.
+    const auto parsed = format::deserializeDdc(bytes);
+    const size_t ladder = [&] {
+        std::vector<uint8_t> ns;
+        for (const auto &b : parsed.meta.blocks)
+            ns.push_back(b.n);
+        std::sort(ns.begin(), ns.end());
+        ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
+        return ns.size();
+    }();
+    const size_t groups = (parsed.meta.blocks.size() + 62) / 63;
+    const size_t first_info = 20 + 1 + ladder + groups * 4;
+    bad_info[first_info + 2] ^= 0x01; // Second entry's offset bit 0.
+    EXPECT_THROW(format::deserializeDdc(bad_info), util::FatalError);
+}
+
+TEST(SerializeDdc, NegativeZeroSurvives)
+{
+    // -0.0 encodes to fp16 0x8000 (non-zero bits), so it stays a kept
+    // position after the round trip.
+    Matrix w(8, 8);
+    for (size_t i = 0; i < w.size(); ++i)
+        w.data()[i] = 1.0f;
+    w.at(0, 0) = -0.0f;
+    const auto res = core::tbsMask(core::magnitudeScores(w), 0.0, 8,
+                                   core::defaultCandidates(8));
+    const auto parsed = format::deserializeDdc(
+        format::serializeDdc(w, res.mask, res.meta));
+    EXPECT_EQ(parsed.mask.at(0, 0), 1);
+    EXPECT_TRUE(std::signbit(parsed.matrix.at(0, 0)));
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the MLP: gradient correctness, training dynamics,
+ * masked layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tbstc::nn;
+using tbstc::core::Mask;
+using tbstc::core::Matrix;
+using tbstc::util::Rng;
+
+TEST(Mlp, ForwardShapes)
+{
+    Rng rng(1);
+    Mlp model({8, 16, 4}, rng);
+    Matrix x(5, 8);
+    const Matrix logits = model.forward(x);
+    EXPECT_EQ(logits.rows(), 5u);
+    EXPECT_EQ(logits.cols(), 4u);
+}
+
+TEST(Mlp, GradientMatchesNumerical)
+{
+    Rng rng(2);
+    Mlp model({4, 6, 3}, rng);
+    Matrix x(2, 4);
+    for (auto &v : x.data())
+        v = static_cast<float>(rng.gaussian());
+    const std::vector<size_t> labels{0, 2};
+
+    const Matrix logits = model.forward(x);
+    (void)model.backward(logits, labels);
+
+    // Spot-check several weight gradients against central differences.
+    const double eps = 1e-3;
+    for (size_t li = 0; li < 2; ++li) {
+        auto &layer = model.layers()[li];
+        for (size_t idx : {size_t{0}, size_t{5},
+                           layer.w.size() - 1}) {
+            const float orig = layer.w.data()[idx];
+            layer.w.data()[idx] = orig + static_cast<float>(eps);
+            const double lp = model.loss(x, labels);
+            layer.w.data()[idx] = orig - static_cast<float>(eps);
+            const double lm = model.loss(x, labels);
+            layer.w.data()[idx] = orig;
+            const double numeric = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(layer.gradW.data()[idx], numeric, 5e-2)
+                << "layer " << li << " idx " << idx;
+        }
+    }
+}
+
+TEST(Mlp, TrainingReducesLoss)
+{
+    Rng rng(3);
+    DatasetConfig dc;
+    dc.features = 16;
+    dc.classes = 4;
+    dc.trainSamples = 512;
+    dc.testSamples = 128;
+    const DataSplit data = makeClusterDataset(dc, rng);
+
+    Mlp model({16, 32, 4}, rng);
+    const double loss0 = model.loss(data.train.x, data.train.labels);
+    for (int step = 0; step < 60; ++step) {
+        const Matrix logits = model.forward(data.train.x);
+        (void)model.backward(logits, data.train.labels);
+        model.sgdStep(0.1);
+    }
+    const double loss1 = model.loss(data.train.x, data.train.labels);
+    EXPECT_LT(loss1, loss0 * 0.7);
+    EXPECT_GT(model.accuracy(data.test.x, data.test.labels), 0.5);
+}
+
+TEST(Mlp, MaskedLayerZeroesContributions)
+{
+    Rng rng(4);
+    Mlp model({4, 8, 2}, rng);
+    auto &hidden = model.layers()[0];
+
+    Matrix x(1, 4, {1.0f, 1.0f, 1.0f, 1.0f});
+    const Matrix before = model.forward(x);
+
+    // Mask everything in the first layer: output must change and
+    // effectively see a zero hidden activation (bias only).
+    hidden.mask = Mask(8, 4);
+    hidden.masked = true;
+    const Matrix after = model.forward(x);
+    EXPECT_NE(before, after);
+
+    // effectiveW must be all zeros now.
+    const Matrix eff = hidden.effectiveW();
+    for (float v : eff.data())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Mlp, ClearMasksRestoresDense)
+{
+    Rng rng(5);
+    Mlp model({4, 8, 2}, rng);
+    Matrix x(1, 4, {1.0f, -1.0f, 0.5f, 2.0f});
+    const Matrix dense = model.forward(x);
+    model.layers()[0].mask = Mask(8, 4);
+    model.layers()[0].masked = true;
+    model.clearMasks();
+    EXPECT_EQ(model.forward(x), dense);
+}
+
+TEST(Mlp, SrSteDecayShrinksPrunedWeights)
+{
+    Rng rng(6);
+    Mlp model({4, 8, 2}, rng);
+    auto &layer = model.layers()[0];
+    layer.mask = Mask(8, 4); // All pruned.
+    layer.masked = true;
+
+    Matrix x(2, 4);
+    const std::vector<size_t> labels{0, 1};
+    const double before = layer.w.absSum();
+    for (int i = 0; i < 50; ++i) {
+        const Matrix logits = model.forward(x);
+        (void)model.backward(logits, labels);
+        model.sgdStep(0.1, 0.0, 0.5);
+    }
+    // Inputs are zero, so the only weight force is the decay: pruned
+    // weights must shrink.
+    EXPECT_LT(layer.w.absSum(), before * 0.5);
+}
+
+TEST(Dataset, ShapesAndLabels)
+{
+    Rng rng(7);
+    DatasetConfig dc;
+    dc.features = 24;
+    dc.classes = 5;
+    dc.trainSamples = 100;
+    dc.testSamples = 50;
+    const DataSplit data = makeClusterDataset(dc, rng);
+    EXPECT_EQ(data.train.samples(), 100u);
+    EXPECT_EQ(data.test.samples(), 50u);
+    EXPECT_EQ(data.train.features(), 24u);
+    for (size_t l : data.train.labels)
+        EXPECT_LT(l, 5u);
+}
+
+TEST(Dataset, Learnable)
+{
+    // A trained model must beat chance clearly: the dataset carries
+    // class signal.
+    Rng rng(8);
+    DatasetConfig dc;
+    dc.features = 16;
+    dc.classes = 4;
+    dc.trainSamples = 1024;
+    dc.testSamples = 256;
+    const DataSplit data = makeClusterDataset(dc, rng);
+    Mlp model({16, 48, 4}, rng);
+    for (int step = 0; step < 120; ++step) {
+        const Matrix logits = model.forward(data.train.x);
+        (void)model.backward(logits, data.train.labels);
+        model.sgdStep(0.1);
+    }
+    EXPECT_GT(model.accuracy(data.test.x, data.test.labels), 0.6);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for one-shot pruning (Wanda / SparseGPT, paper Table II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/oneshot.hpp"
+#include "nn/sparse_train.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tbstc::nn;
+using tbstc::core::Criterion;
+using tbstc::core::Pattern;
+using tbstc::util::Rng;
+
+struct TrainedModel
+{
+    DataSplit data;
+    Mlp model;
+
+    TrainedModel() : data(makeData()), model(makeModel())
+    {
+        Rng rng(12);
+        TrainConfig cfg;
+        cfg.pattern = Pattern::Dense;
+        cfg.epochs = 16;
+        cfg.lr = 0.08;
+        (void)sparseTrain(model, data, cfg, rng);
+    }
+
+    static DataSplit
+    makeData()
+    {
+        Rng rng(10);
+        DatasetConfig dc;
+        dc.features = 16;
+        dc.classes = 4;
+        dc.trainSamples = 1024;
+        dc.testSamples = 512;
+        return makeClusterDataset(dc, rng);
+    }
+
+    static Mlp
+    makeModel()
+    {
+        Rng rng(11);
+        return Mlp({16, 32, 32, 4}, rng);
+    }
+
+    double
+    accuracy(Mlp &m)
+    {
+        return m.accuracy(data.test.x, data.test.labels);
+    }
+};
+
+TEST(Oneshot, PruningKeepsMostAccuracy)
+{
+    TrainedModel t;
+    const double dense_acc = t.accuracy(t.model);
+    ASSERT_GT(dense_acc, 0.6);
+
+    Mlp pruned = t.model;
+    OneshotConfig cfg;
+    cfg.pattern = Pattern::TBS;
+    cfg.criterion = Criterion::Wanda;
+    cfg.sparsity = 0.5;
+    oneshotPrune(pruned, t.data.train.x, cfg);
+    const double pruned_acc = t.accuracy(pruned);
+    EXPECT_GT(pruned_acc, dense_acc - 0.15);
+    EXPECT_TRUE(pruned.layers()[1].masked);
+    EXPECT_NEAR(pruned.layers()[1].mask.sparsity(), 0.5, 0.05);
+}
+
+TEST(Oneshot, ObsCompensationHelpsOrMatches)
+{
+    TrainedModel t;
+
+    Mlp with = t.model;
+    OneshotConfig cfg;
+    cfg.pattern = Pattern::TBS;
+    cfg.criterion = Criterion::SparseGpt;
+    cfg.sparsity = 0.6;
+    cfg.obsCompensation = true;
+    oneshotPrune(with, t.data.train.x, cfg);
+
+    Mlp without = t.model;
+    cfg.obsCompensation = false;
+    oneshotPrune(without, t.data.train.x, cfg);
+
+    // Compensation adjusts kept weights, so the two models differ...
+    EXPECT_NE(with.layers()[1].w, without.layers()[1].w);
+    // ...and on held-out data the compensated model should not lose
+    // (allow a small statistical margin).
+    EXPECT_GE(t.accuracy(with) + 0.06, t.accuracy(without));
+}
+
+TEST(Oneshot, AllCriteriaRun)
+{
+    TrainedModel t;
+    for (Criterion c : {Criterion::Magnitude, Criterion::Wanda,
+                        Criterion::SparseGpt}) {
+        Mlp pruned = t.model;
+        OneshotConfig cfg;
+        cfg.pattern = Pattern::TBS;
+        cfg.criterion = c;
+        cfg.sparsity = 0.5;
+        oneshotPrune(pruned, t.data.train.x, cfg);
+        EXPECT_GT(t.accuracy(pruned), 0.3)
+            << criterionName(c);
+    }
+}
+
+TEST(Oneshot, TbsBeatsTsOnAverage)
+{
+    // Table II's ordering at 50%: TBS should retain at least as much
+    // accuracy as TS under the same criterion (single seed, so allow
+    // a small margin).
+    TrainedModel t;
+
+    Mlp ts = t.model;
+    OneshotConfig cfg;
+    cfg.criterion = Criterion::Wanda;
+    cfg.sparsity = 0.5;
+    cfg.pattern = Pattern::TS;
+    oneshotPrune(ts, t.data.train.x, cfg);
+
+    Mlp tbs = t.model;
+    cfg.pattern = Pattern::TBS;
+    oneshotPrune(tbs, t.data.train.x, cfg);
+
+    EXPECT_GE(t.accuracy(tbs) + 0.04, t.accuracy(ts));
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the event-driven cycle simulator and its agreement with
+ * the analytic pipeline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cyclesim.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/profile_builder.hpp"
+
+namespace {
+
+using namespace tbstc;
+using namespace tbstc::sim;
+
+LayerProfile
+tbsProfile(uint64_t x, uint64_t y, uint64_t nb, double sparsity,
+           uint64_t seed = 42)
+{
+    workload::ProfileSpec spec;
+    spec.shape = {"cyclesim-probe", x, y, nb};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = sparsity;
+    spec.fmt = format::StorageFormat::DDC;
+    spec.seed = seed;
+    return workload::buildLayerProfile(spec);
+}
+
+TEST(CycleSim, RunsAndAccountsOccupancy)
+{
+    const auto layer = tbsProfile(256, 256, 64, 0.5);
+    const auto res = simulateLayerEventDriven(layer, ArchConfig{});
+    EXPECT_GT(res.cycles, 0.0);
+    EXPECT_GT(res.tiles, 1u);
+    EXPECT_LE(res.computeBusy, res.cycles + 1e-9);
+    EXPECT_LE(res.busBusy, res.cycles + 1e-9);
+    EXPECT_GT(res.computeOccupancy(), 0.0);
+    EXPECT_LE(res.busOccupancy(), 1.0 + 1e-9);
+}
+
+TEST(CycleSim, AgreesWithAnalyticModelComputeBound)
+{
+    // Large nb: compute dominates; the two models must agree closely.
+    const auto layer = tbsProfile(512, 512, 512, 0.5);
+    const ArchConfig cfg;
+    const auto analytic = simulateLayer(layer, cfg);
+    const auto event = simulateLayerEventDriven(layer, cfg);
+    EXPECT_NEAR(event.cycles / analytic.cycles, 1.0, 0.15);
+}
+
+TEST(CycleSim, AgreesWithAnalyticModelMemoryBound)
+{
+    // Tiny nb: the bus dominates; agreement within the pipeline-fill
+    // margin.
+    const auto layer = tbsProfile(1024, 1024, 8, 0.5);
+    const ArchConfig cfg;
+    const auto analytic = simulateLayer(layer, cfg);
+    const auto event = simulateLayerEventDriven(layer, cfg);
+    EXPECT_NEAR(event.cycles / analytic.cycles, 1.0, 0.30);
+}
+
+TEST(CycleSim, PreservesSparsityOrdering)
+{
+    const ArchConfig cfg;
+    double prev = 1e30;
+    for (double sp : {0.25, 0.5, 0.75, 0.875}) {
+        const auto layer = tbsProfile(512, 512, 128, sp);
+        const auto res = simulateLayerEventDriven(layer, cfg);
+        EXPECT_LT(res.cycles, prev) << sp;
+        prev = res.cycles;
+    }
+}
+
+TEST(CycleSim, PreservesBaselineOrdering)
+{
+    // Naive scheduling must not be faster than aware, in both models.
+    const auto layer = tbsProfile(512, 512, 128, 0.625);
+    ArchConfig aware;
+    ArchConfig naive;
+    naive.interSched = InterSched::Naive;
+    naive.intraMap = IntraMap::Naive;
+    const auto ev_aware = simulateLayerEventDriven(layer, aware);
+    const auto ev_naive = simulateLayerEventDriven(layer, naive);
+    EXPECT_GT(ev_naive.cycles, ev_aware.cycles);
+
+    const auto an_aware = simulateLayer(layer, aware);
+    const auto an_naive = simulateLayer(layer, naive);
+    EXPECT_GT(an_naive.cycles / an_aware.cycles, 1.0);
+}
+
+TEST(CycleSim, TileSizeInsensitive)
+{
+    // Halving the tile granularity must not change the result much
+    // (it only refines pipeline overlap).
+    const auto layer = tbsProfile(512, 512, 128, 0.5);
+    CycleSimOptions coarse;
+    coarse.tileBlocks = 1024;
+    CycleSimOptions fine;
+    fine.tileBlocks = 256;
+    const auto c = simulateLayerEventDriven(layer, ArchConfig{}, coarse);
+    const auto f = simulateLayerEventDriven(layer, ArchConfig{}, fine);
+    EXPECT_NEAR(f.cycles / c.cycles, 1.0, 0.15);
+}
+
+TEST(CycleSim, Int8SpeedsUpCompute)
+{
+    const auto layer = tbsProfile(512, 512, 256, 0.5);
+    CycleSimOptions fp16;
+    CycleSimOptions int8;
+    int8.int8Weights = true;
+    const auto a = simulateLayerEventDriven(layer, ArchConfig{}, fp16);
+    const auto b = simulateLayerEventDriven(layer, ArchConfig{}, int8);
+    EXPECT_LT(b.cycles, a.cycles);
+}
+
+TEST(CycleSim, BandwidthBoundScalesWithBandwidth)
+{
+    const auto layer = tbsProfile(1024, 1024, 8, 0.5);
+    ArchConfig slow;
+    slow.dramGbps = 32.0;
+    ArchConfig fast;
+    fast.dramGbps = 128.0;
+    const auto s = simulateLayerEventDriven(layer, slow);
+    const auto f = simulateLayerEventDriven(layer, fast);
+    EXPECT_GT(s.cycles / f.cycles, 2.0);
+}
+
+} // namespace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the DRAM channel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.hpp"
+
+namespace {
+
+using namespace tbstc::sim;
+using tbstc::format::StreamProfile;
+
+TEST(Dram, ContiguousNearPeak)
+{
+    ArchConfig cfg;
+    const DramModel dram(cfg);
+    const DramTransfer t = dram.streamContiguous(1 << 20);
+    EXPECT_GT(t.utilisation(), 0.99);
+    // 1 MiB at 64 B/cycle ~ 16384 cycles.
+    EXPECT_NEAR(t.cycles, (1 << 20) / cfg.dramBytesPerCycle(), 64.0);
+}
+
+TEST(Dram, EmptyTransferFree)
+{
+    const DramModel dram(ArchConfig{});
+    const DramTransfer t = dram.streamContiguous(0);
+    EXPECT_EQ(t.busBytes, 0u);
+    EXPECT_EQ(t.cycles, 0.0);
+    EXPECT_DOUBLE_EQ(t.utilisation(), 1.0);
+}
+
+TEST(Dram, FragmentationHurts)
+{
+    const DramModel dram(ArchConfig{});
+    StreamProfile contiguous{1 << 16, 1 << 16, 1};
+    StreamProfile fragmented{1 << 16, 1 << 16, 4096}; // 16 B runs.
+    const auto tc = dram.stream(contiguous);
+    const auto tf = dram.stream(fragmented);
+    EXPECT_GT(tf.busBytes, tc.busBytes);
+    EXPECT_GT(tf.cycles, tc.cycles);
+    EXPECT_LT(tf.utilisation(), 0.5);
+    EXPECT_GT(tc.utilisation(), 0.95);
+}
+
+TEST(Dram, RedundancyHurtsUtilisation)
+{
+    const DramModel dram(ArchConfig{});
+    // SDC-like: contiguous but 50% padding.
+    StreamProfile padded{1 << 16, 1 << 15, 1};
+    const auto t = dram.stream(padded);
+    EXPECT_NEAR(t.utilisation(), 0.5, 0.02);
+}
+
+TEST(Dram, BandwidthScalesCycles)
+{
+    ArchConfig slow;
+    slow.dramGbps = 64.0;
+    ArchConfig fast;
+    fast.dramGbps = 256.0;
+    const auto ts = DramModel(slow).streamContiguous(1 << 20);
+    const auto tf = DramModel(fast).streamContiguous(1 << 20);
+    EXPECT_NEAR(ts.cycles / tf.cycles, 4.0, 0.01);
+}
+
+TEST(Dram, ShortRunsPayBurstPadding)
+{
+    const DramModel dram(ArchConfig{}, 32, 8);
+    // 8-byte runs: each costs a 32 B burst + 8 B overhead = 40 B.
+    StreamProfile tiny{8 * 100, 8 * 100, 100};
+    const auto t = dram.stream(tiny);
+    EXPECT_NEAR(t.utilisation(), 8.0 / 40.0, 0.01);
+}
+
+} // namespace

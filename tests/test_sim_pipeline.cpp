@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the pipeline simulator and the area/energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+#include "sim/pipeline.hpp"
+
+namespace {
+
+using namespace tbstc::sim;
+
+/** Hand-built dense layer profile: every block 8:8. */
+LayerProfile
+denseProfile(uint64_t x, uint64_t y, uint64_t nb)
+{
+    LayerProfile p;
+    p.x = x;
+    p.y = y;
+    p.nb = nb;
+    p.m = 8;
+    p.aNnz = x * y;
+    p.blocks.assign(x / 8 * (y / 8), BlockTask{64, 8, false, 8});
+    p.aStream = {x * y * 2, x * y * 2, 1};
+    return p;
+}
+
+/** Uniform structured-sparse profile at density n/8. */
+LayerProfile
+sparseProfile(uint64_t x, uint64_t y, uint64_t nb, uint8_t n,
+              bool independent = false)
+{
+    LayerProfile p = denseProfile(x, y, nb);
+    const uint16_t nnz = n * 8;
+    p.aNnz = x * y * n / 8;
+    p.blocks.assign(x / 8 * (y / 8),
+                    BlockTask{nnz, n, independent, 8});
+    p.aStream = {p.aNnz * 2, p.aNnz * 2, 2};
+    return p;
+}
+
+TEST(Pipeline, DenseComputeMatchesPeakThroughput)
+{
+    const LayerProfile layer = denseProfile(512, 512, 512);
+    ArchConfig cfg;
+    cfg.codecUnit = false;
+    cfg.mbdUnit = false;
+    const RunStats stats = simulateLayer(layer, cfg);
+    const double ideal =
+        layer.usefulMacs() / static_cast<double>(cfg.totalLanes());
+    // Compute-bound dense GEMM should run near peak.
+    EXPECT_NEAR(stats.breakdown.compute, ideal, ideal * 0.02);
+    EXPECT_GT(stats.computeUtilisation, 0.95);
+}
+
+TEST(Pipeline, HalfDensityHalvesCompute)
+{
+    const LayerProfile dense = denseProfile(512, 512, 512);
+    const LayerProfile half = sparseProfile(512, 512, 512, 4);
+    const RunStats sd = simulateLayer(dense, ArchConfig{});
+    const RunStats sh = simulateLayer(half, ArchConfig{});
+    EXPECT_NEAR(sh.breakdown.compute / sd.breakdown.compute, 0.5, 0.02);
+}
+
+TEST(Pipeline, MemoryBoundWhenNbSmall)
+{
+    // Few B columns: fetching A dominates and the layer is
+    // bandwidth-bound.
+    const LayerProfile layer = denseProfile(1024, 1024, 8);
+    const RunStats stats = simulateLayer(layer, ArchConfig{});
+    EXPECT_GT(stats.breakdown.memory, stats.breakdown.compute);
+}
+
+TEST(Pipeline, EnergyTotalsAreSumOfParts)
+{
+    const LayerProfile layer = sparseProfile(256, 256, 128, 4);
+    const RunStats stats = simulateLayer(layer, ArchConfig{});
+    const auto &e = stats.energy;
+    EXPECT_NEAR(e.totalJ(),
+                e.computeJ + e.sramJ + e.dramJ + e.codecJ + e.mbdJ
+                    + e.staticJ,
+                1e-15);
+    EXPECT_GT(e.computeJ, 0.0);
+    EXPECT_GT(e.dramJ, 0.0);
+    EXPECT_GT(e.staticJ, 0.0);
+    EXPECT_DOUBLE_EQ(stats.edp, e.totalJ() * stats.seconds);
+}
+
+TEST(Pipeline, CodecWorkAccountedAndMostlyHidden)
+{
+    const LayerProfile layer = sparseProfile(256, 256, 128, 4, true);
+    const RunStats stats = simulateLayer(layer, ArchConfig{});
+    EXPECT_GT(stats.breakdown.codec, 0.0);
+    // Conversion runs once per block while compute repeats nb times:
+    // it must hide inside the pipeline (paper Fig. 14: ~3.6% exposed).
+    EXPECT_EQ(stats.breakdown.codecExposed, 0.0);
+    EXPECT_LT(stats.breakdown.codec, stats.breakdown.total);
+    EXPECT_GT(stats.energy.codecJ, 0.0);
+}
+
+TEST(Pipeline, IndependentBlocksSlowWithoutAlternateUnit)
+{
+    const LayerProfile layer = sparseProfile(256, 256, 128, 2, true);
+    ArchConfig with;
+    ArchConfig without;
+    without.alternateUnit = false;
+    const RunStats sw = simulateLayer(layer, with);
+    const RunStats so = simulateLayer(layer, without);
+    EXPECT_GT(so.breakdown.compute, sw.breakdown.compute * 2.0);
+}
+
+TEST(Pipeline, Int8ShrinksTrafficAndComputeEnergy)
+{
+    const LayerProfile layer = sparseProfile(512, 512, 64, 4);
+    RunOptions fp16;
+    RunOptions int8;
+    int8.int8Weights = true;
+    const RunStats s16 = simulateLayer(layer, ArchConfig{}, {}, fp16);
+    const RunStats s8 = simulateLayer(layer, ArchConfig{}, {}, int8);
+    EXPECT_LT(s8.energy.computeJ, s16.energy.computeJ);
+    EXPECT_LE(s8.breakdown.memory, s16.breakdown.memory);
+}
+
+TEST(Pipeline, AccumulateSumsRuns)
+{
+    const LayerProfile layer = sparseProfile(256, 256, 64, 4);
+    const RunStats one = simulateLayer(layer, ArchConfig{});
+    RunStats total;
+    total.accumulate(one);
+    total.accumulate(one);
+    EXPECT_NEAR(total.cycles, 2.0 * one.cycles, 1e-9);
+    EXPECT_NEAR(total.energy.totalJ(), 2.0 * one.energy.totalJ(),
+                1e-15);
+    EXPECT_NEAR(total.edp, 2.0 * one.energy.totalJ() * 2.0 * one.seconds,
+                1e-15);
+    EXPECT_NEAR(total.computeUtilisation, one.computeUtilisation, 1e-9);
+}
+
+TEST(AreaModel, MatchesTableIII)
+{
+    const AreaModel model{ArchConfig{}};
+    const auto rows = model.components();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].name, "DVPE Array");
+    EXPECT_NEAR(rows[0].areaMm2, 1.43, 1e-9);
+    EXPECT_NEAR(rows[0].powerMw, 197.71, 1e-9);
+    EXPECT_NEAR(rows[1].areaMm2, 0.03, 1e-9);
+    EXPECT_NEAR(rows[2].areaMm2, 0.01, 1e-9);
+    EXPECT_NEAR(model.totalAreaMm2(), 1.47, 1e-9);
+    EXPECT_NEAR(model.totalPowerMw(), 200.59, 1e-9);
+}
+
+TEST(AreaModel, A100OverheadMatchesPaper)
+{
+    const AreaModel model{ArchConfig{}};
+    EXPECT_NEAR(model.addedAreaMm2(), 0.12, 1e-9);
+    EXPECT_NEAR(model.a100OverheadFraction(), 0.0157, 2e-4);
+}
+
+TEST(AreaModel, FeaturesRemoveComponents)
+{
+    ArchConfig cfg;
+    cfg.codecUnit = false;
+    cfg.mbdUnit = false;
+    const AreaModel model{cfg};
+    EXPECT_EQ(model.components().size(), 1u);
+    EXPECT_NEAR(model.totalAreaMm2(), 1.43, 1e-9);
+}
+
+TEST(EnergyCalibration, DvpePeakPowerMatchesTableIII)
+{
+    // 1024 MACs/cycle at 1 GHz: dynamic + static = 197.71 mW.
+    const EnergyParams e;
+    const double dynamic_mw = 1024.0 * e.macFp16Pj * 1e-12 * 1e9 * 1e3;
+    EXPECT_NEAR(dynamic_mw + e.dvpeStaticMw, 197.71, 1.0);
+}
+
+} // namespace

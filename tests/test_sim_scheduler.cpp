@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for inter-block scheduling and DVPE beat mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/dvpe.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tbstc::sim;
+using tbstc::util::Rng;
+
+TEST(Scheduler, UniformCostsPerfectEitherWay)
+{
+    const std::vector<uint64_t> costs(64, 4);
+    const auto naive = scheduleBlocks(costs, 16, InterSched::Naive, 8);
+    const auto aware = scheduleBlocks(costs, 16, InterSched::Aware, 8);
+    EXPECT_EQ(naive.makespan, 16u);
+    EXPECT_EQ(aware.makespan, 16u);
+    EXPECT_DOUBLE_EQ(naive.utilisation, 1.0);
+    EXPECT_DOUBLE_EQ(aware.utilisation, 1.0);
+}
+
+TEST(Scheduler, AwareNeverWorseThanNaive)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<uint64_t> costs(200);
+        for (auto &c : costs)
+            c = rng.below(9);
+        const auto naive =
+            scheduleBlocks(costs, 16, InterSched::Naive, 8);
+        const auto aware =
+            scheduleBlocks(costs, 16, InterSched::Aware, 8);
+        EXPECT_LE(aware.makespan, naive.makespan);
+    }
+}
+
+TEST(Scheduler, PaperFig11Example)
+{
+    // Blocks a..e with costs {1, 2, 1, 1, 1} on 2 PEs: naive waves
+    // stall on the slowest of each pair; the aware scheduler packs the
+    // light blocks into the gaps, approaching sum/P = 3.
+    const std::vector<uint64_t> costs{1, 2, 1, 1, 1};
+    const auto naive = scheduleBlocks(costs, 2, InterSched::Naive, 4);
+    const auto aware = scheduleBlocks(costs, 2, InterSched::Aware, 4);
+    EXPECT_EQ(naive.makespan, 2u + 1u + 1u); // max(1,2)+max(1,1)+1.
+    EXPECT_EQ(aware.makespan, 3u);
+    EXPECT_GT(aware.utilisation, naive.utilisation);
+}
+
+TEST(Scheduler, MakespanLowerBound)
+{
+    // Makespan can never undercut total work / PEs nor the largest
+    // single block.
+    Rng rng(2);
+    std::vector<uint64_t> costs(128);
+    for (auto &c : costs)
+        c = rng.below(16) + 1;
+    const uint64_t total = std::accumulate(costs.begin(), costs.end(),
+                                           uint64_t{0});
+    const uint64_t biggest =
+        *std::max_element(costs.begin(), costs.end());
+    for (auto policy : {InterSched::Naive, InterSched::Aware}) {
+        const auto res = scheduleBlocks(costs, 16, policy, 8);
+        EXPECT_GE(res.makespan, (total + 15) / 16);
+        EXPECT_GE(res.makespan, biggest);
+        EXPECT_LE(res.utilisation, 1.0);
+    }
+}
+
+TEST(Scheduler, SkewedCostsShowNaivePenalty)
+{
+    // One heavy block per wave of light ones: naive stalls the wave.
+    std::vector<uint64_t> costs;
+    for (int i = 0; i < 32; ++i) {
+        costs.push_back(8);
+        for (int j = 0; j < 15; ++j)
+            costs.push_back(1);
+    }
+    const auto naive = scheduleBlocks(costs, 16, InterSched::Naive, 8);
+    const auto aware = scheduleBlocks(costs, 16, InterSched::Aware, 8);
+    EXPECT_LT(naive.utilisation, 0.25);
+    EXPECT_GT(aware.utilisation, 0.8);
+}
+
+TEST(Scheduler, EmptyStream)
+{
+    const auto res = scheduleBlocks({}, 16, InterSched::Aware, 8);
+    EXPECT_EQ(res.makespan, 0u);
+    EXPECT_DOUBLE_EQ(res.utilisation, 1.0);
+}
+
+TEST(Dvpe, PackedBeats)
+{
+    EXPECT_EQ(packedBeats(0, 8), 0u);
+    EXPECT_EQ(packedBeats(1, 8), 1u);
+    EXPECT_EQ(packedBeats(8, 8), 1u);
+    EXPECT_EQ(packedBeats(9, 8), 2u);
+    EXPECT_EQ(packedBeats(64, 8), 8u);
+}
+
+TEST(Dvpe, ReductionBlocksAlwaysPacked)
+{
+    ArchConfig cfg;
+    cfg.alternateUnit = false;
+    cfg.intraMap = IntraMap::Naive;
+    BlockTask task{32, 4, false, 8};
+    // Structured reduction-dim blocks pack regardless of the flags.
+    EXPECT_EQ(blockBeats(task, cfg), 4u);
+}
+
+TEST(Dvpe, IndependentBlocksNeedAlternateUnit)
+{
+    BlockTask task{16, 2, true, 6}; // 16 nnz spread over 6 rows.
+    ArchConfig with;
+    EXPECT_EQ(blockBeats(task, with), 2u); // ceil(16/8).
+    ArchConfig without;
+    without.alternateUnit = false;
+    EXPECT_EQ(blockBeats(task, without), 6u); // Row per beat.
+    ArchConfig naive;
+    naive.intraMap = IntraMap::Naive;
+    EXPECT_EQ(blockBeats(task, naive), 6u);
+}
+
+TEST(Dvpe, EmptyBlockFree)
+{
+    EXPECT_EQ(blockBeats(BlockTask{0, 0, false, 0}, ArchConfig{}), 0u);
+    EXPECT_EQ(blockBeats(BlockTask{0, 0, true, 0}, ArchConfig{}), 0u);
+}
+
+} // namespace

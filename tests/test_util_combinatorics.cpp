@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for log-space combinatorics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/combinatorics.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace tbstc::util;
+
+TEST(ChooseExact, KnownValues)
+{
+    EXPECT_EQ(chooseExact(0, 0), 1u);
+    EXPECT_EQ(chooseExact(8, 0), 1u);
+    EXPECT_EQ(chooseExact(8, 8), 1u);
+    EXPECT_EQ(chooseExact(8, 4), 70u);
+    EXPECT_EQ(chooseExact(8, 2), 28u);
+    EXPECT_EQ(chooseExact(52, 5), 2598960u);
+    EXPECT_EQ(chooseExact(62, 31), 465428353255261088ull);
+}
+
+TEST(ChooseExact, KOverNIsZero)
+{
+    EXPECT_EQ(chooseExact(4, 5), 0u);
+}
+
+TEST(ChooseExact, PascalIdentity)
+{
+    for (uint64_t n = 1; n <= 30; ++n)
+        for (uint64_t k = 1; k <= n; ++k)
+            EXPECT_EQ(chooseExact(n, k),
+                      chooseExact(n - 1, k - 1) + chooseExact(n - 1, k));
+}
+
+TEST(ChooseExact, OverflowPanics)
+{
+    EXPECT_THROW(chooseExact(128, 64), PanicError);
+}
+
+TEST(Log2Choose, MatchesExactSmall)
+{
+    for (uint64_t n = 1; n <= 40; ++n) {
+        for (uint64_t k = 0; k <= n; ++k) {
+            const double expect =
+                std::log2(static_cast<double>(chooseExact(n, k)));
+            EXPECT_NEAR(log2Choose(double(n), double(k)), expect, 1e-9)
+                << n << " choose " << k;
+        }
+    }
+}
+
+TEST(Log2Choose, OutOfRangeIsMinusInfinity)
+{
+    EXPECT_TRUE(std::isinf(log2Choose(4, 5)));
+    EXPECT_LT(log2Choose(4, 5), 0);
+    EXPECT_TRUE(std::isinf(log2Choose(4, -1)));
+}
+
+TEST(Log2SumExp2, SimpleSums)
+{
+    // 2^3 + 2^3 = 2^4.
+    const double terms[] = {3.0, 3.0};
+    EXPECT_NEAR(log2SumExp2(terms), 4.0, 1e-12);
+}
+
+TEST(Log2SumExp2, DominantTermWins)
+{
+    const double terms[] = {1000.0, 0.0};
+    EXPECT_NEAR(log2SumExp2(terms), 1000.0, 1e-9);
+}
+
+TEST(Log2SumExp2, EmptyIsMinusInfinity)
+{
+    EXPECT_TRUE(std::isinf(log2SumExp2({})));
+}
+
+TEST(Log2SumExp2, MatchesDirectComputation)
+{
+    const double terms[] = {2.0, 5.0, 7.5, 3.3};
+    double direct = 0.0;
+    for (double t : terms)
+        direct += std::exp2(t);
+    EXPECT_NEAR(log2SumExp2(terms), std::log2(direct), 1e-12);
+}
+
+TEST(Log2AddExp2, TwoTerms)
+{
+    EXPECT_NEAR(log2AddExp2(0.0, 0.0), 1.0, 1e-12);
+    EXPECT_NEAR(log2AddExp2(10.0, 10.0), 11.0, 1e-12);
+}
+
+} // namespace

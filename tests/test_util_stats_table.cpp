@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for statistics helpers, the table printer, and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/fmt.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tbstc::util;
+
+TEST(Stats, Mean)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    const std::vector<double> xs{1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+    const std::vector<double> bad{1.0, -1.0};
+    EXPECT_THROW(geomean(bad), PanicError);
+}
+
+TEST(Stats, Stddev)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> xs{3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 7.0);
+    EXPECT_THROW(minOf({}), PanicError);
+}
+
+TEST(RatioStat, Accumulates)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+    r.add(1.0, 2.0);
+    r.add(3.0, 6.0);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.5);
+    EXPECT_DOUBLE_EQ(r.numerator(), 4.0);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0);       // bin 0
+    h.add(9.5);       // bin 4
+    h.add(-3.0);      // clamped to bin 0
+    h.add(42.0, 2.0); // clamped to bin 4, weight 2
+    EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(4), 3.0);
+    EXPECT_DOUBLE_EQ(h.total(), 5.0);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHi(1), 4.0);
+}
+
+TEST(Histogram, RejectsDegenerate)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), PanicError);
+}
+
+TEST(FmtDouble, Precision)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatStr, SubstitutesPlaceholders)
+{
+    EXPECT_EQ(formatStr("a={} b={}", 1, "x"), "a=1 b=x");
+    EXPECT_EQ(formatStr("no placeholders"), "no placeholders");
+    EXPECT_EQ(formatStr("{} {}", 5), "5 {}");
+    EXPECT_EQ(formatStr("{}", 1.5), "1.5");
+}
+
+TEST(Table, RendersAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsBadRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Logging, FatalThrowsAndFormats)
+{
+    try {
+        fatal("bad value {}", 42);
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value 42");
+    }
+}
+
+TEST(Logging, EnsurePassesAndFails)
+{
+    EXPECT_NO_THROW(ensure(true, "fine"));
+    EXPECT_THROW(ensure(false, "broken"), PanicError);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the workload layer: model tables, synthesis, profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/models.hpp"
+#include "workload/profile_builder.hpp"
+#include "workload/synth.hpp"
+
+namespace {
+
+using namespace tbstc::workload;
+using tbstc::core::Pattern;
+using tbstc::format::StorageFormat;
+
+TEST(Models, PadTo)
+{
+    EXPECT_EQ(padTo(0, 8), 0u);
+    EXPECT_EQ(padTo(1, 8), 8u);
+    EXPECT_EQ(padTo(8, 8), 8u);
+    EXPECT_EQ(padTo(11008, 8), 11008u);
+}
+
+TEST(Models, AllLayersBlockAligned)
+{
+    for (ModelId id : {ModelId::ResNet50, ModelId::ResNet18,
+                       ModelId::BertBase, ModelId::Opt67b,
+                       ModelId::Llama27b}) {
+        const auto layers = modelLayers(id, 128);
+        EXPECT_FALSE(layers.empty()) << modelName(id);
+        for (const auto &l : layers) {
+            EXPECT_EQ(l.x % 8, 0u) << l.name;
+            EXPECT_EQ(l.y % 8, 0u) << l.name;
+            EXPECT_GT(l.nb, 0u) << l.name;
+        }
+    }
+}
+
+TEST(Models, LayerCountsMatchArchitectures)
+{
+    // ResNet-50: 16 bottlenecks x 3 convs + 4 downsamples = 52.
+    EXPECT_EQ(modelLayers(ModelId::ResNet50).size(), 52u);
+    // BERT-base: 12 x 6 weight GEMMs.
+    EXPECT_EQ(modelLayers(ModelId::BertBase).size(), 72u);
+    // OPT-6.7B: 32 x 6.
+    EXPECT_EQ(modelLayers(ModelId::Opt67b).size(), 192u);
+    // Llama2-7B: 32 x 7 (gated MLP).
+    EXPECT_EQ(modelLayers(ModelId::Llama27b).size(), 224u);
+}
+
+TEST(Models, BertShapes)
+{
+    const auto layers = modelLayers(ModelId::BertBase, 128);
+    const auto &fc1 = layers[4]; // q,k,v,o,fc1,fc2 per layer.
+    EXPECT_EQ(fc1.x, 3072u);
+    EXPECT_EQ(fc1.y, 768u);
+    EXPECT_EQ(fc1.nb, 128u);
+    EXPECT_EQ(fc1.macs(), 3072.0 * 768.0 * 128.0);
+}
+
+TEST(Models, RepresentativeSubsetsNonEmpty)
+{
+    for (ModelId id : {ModelId::ResNet50, ModelId::BertBase,
+                       ModelId::Opt67b}) {
+        const auto reps = representativeLayers(id);
+        EXPECT_GE(reps.size(), 2u);
+        EXPECT_LE(reps.size(), 8u);
+    }
+}
+
+TEST(Synth, Deterministic)
+{
+    const GemmShape shape{"test", 64, 64, 16};
+    const auto a = synthWeights(shape, 42);
+    const auto b = synthWeights(shape, 42);
+    EXPECT_EQ(a, b);
+    const auto c = synthWeights(shape, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST(Synth, NameChangesStream)
+{
+    const GemmShape a{"layer.a", 32, 32, 8};
+    const GemmShape b{"layer.b", 32, 32, 8};
+    EXPECT_NE(synthWeights(a, 42), synthWeights(b, 42));
+}
+
+TEST(Synth, RowCapApplies)
+{
+    const GemmShape shape{"big", 4096, 64, 8};
+    const auto w = synthWeights(shape, 1, 128);
+    EXPECT_EQ(w.rows(), 128u);
+    EXPECT_EQ(w.cols(), 64u);
+}
+
+TEST(Synth, ActivationsNonNegative)
+{
+    const auto x = synthActivations(32, 16, 5);
+    for (float v : x.data())
+        EXPECT_GE(v, 0.0f);
+}
+
+TEST(ProfileBuilder, BlockCountsAndNnz)
+{
+    ProfileSpec spec;
+    spec.shape = {"t", 128, 128, 64};
+    spec.pattern = Pattern::TBS;
+    spec.sparsity = 0.5;
+    spec.fmt = StorageFormat::DDC;
+    const auto profile = buildLayerProfile(spec);
+    EXPECT_EQ(profile.blocks.size(), 16u * 16u);
+    EXPECT_NEAR(static_cast<double>(profile.aNnz) / (128.0 * 128.0),
+                0.5, 0.05);
+    EXPECT_EQ(profile.sampleScale, 1.0);
+    EXPECT_GT(profile.aStream.payloadBytes, 0u);
+}
+
+TEST(ProfileBuilder, SamplingScalesWork)
+{
+    ProfileSpec spec;
+    spec.shape = {"huge", 4096, 1024, 64};
+    spec.pattern = Pattern::US;
+    spec.sparsity = 0.5;
+    spec.fmt = StorageFormat::Bitmap;
+    spec.maxElements = 256 * 1024;
+    const auto profile = buildLayerProfile(spec);
+    EXPECT_LT(profile.blocks.size(), 4096u / 8 * (1024u / 8));
+    EXPECT_GT(profile.sampleScale, 1.0);
+    // usefulMacs must reflect the *full* layer.
+    const double full_density =
+        profile.usefulMacs() / spec.shape.macs();
+    EXPECT_NEAR(full_density, 0.5, 0.05);
+}
+
+TEST(ProfileBuilder, TbsHasIndependentBlocks)
+{
+    ProfileSpec spec;
+    spec.shape = {"t2", 256, 256, 64};
+    spec.pattern = Pattern::TBS;
+    spec.sparsity = 0.5;
+    spec.fmt = StorageFormat::DDC;
+    const auto profile = buildLayerProfile(spec);
+    size_t independent = 0;
+    for (const auto &b : profile.blocks)
+        independent += b.independentDim;
+    EXPECT_GT(independent, 0u);
+}
+
+TEST(ProfileBuilder, DensifyRemovesIndependentBlocks)
+{
+    ProfileSpec spec;
+    spec.shape = {"t3", 256, 256, 64};
+    spec.pattern = Pattern::TBS;
+    spec.sparsity = 0.5;
+    spec.fmt = StorageFormat::SDC;
+    spec.densifyIndependent = true;
+    const auto profile = buildLayerProfile(spec);
+    for (const auto &b : profile.blocks)
+        EXPECT_FALSE(b.independentDim);
+    // Densified blocks add extra kept elements beyond the target.
+    EXPECT_GT(static_cast<double>(profile.aNnz) / (256.0 * 256.0), 0.5);
+}
+
+TEST(ProfileBuilder, DeriveMetaBoundsGroups)
+{
+    ProfileSpec spec;
+    spec.shape = {"t4", 64, 64, 16};
+    spec.pattern = Pattern::RSV;
+    spec.sparsity = 0.5;
+    spec.fmt = StorageFormat::SDC;
+    const auto profile = buildLayerProfile(spec);
+    for (const auto &b : profile.blocks) {
+        EXPECT_LE(b.nnz, 64u);
+        EXPECT_LE(b.n, 8u);
+        EXPECT_FALSE(b.independentDim);
+        EXPECT_LE(b.nonemptyRows, 8u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the full inference graph (weight + attention GEMMs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hpp"
+#include "workload/graph.hpp"
+
+namespace {
+
+using namespace tbstc;
+using namespace tbstc::workload;
+
+TEST(Graph, CnnsHaveNoActivationGemms)
+{
+    const auto ops = inferenceGraph(ModelId::ResNet50);
+    for (const auto &op : ops)
+        EXPECT_TRUE(op.weightOp);
+    EXPECT_EQ(ops.size(), modelLayers(ModelId::ResNet50).size());
+}
+
+TEST(Graph, TransformersAddAttentionOps)
+{
+    const auto ops = inferenceGraph(ModelId::BertBase, 128);
+    size_t activation_ops = 0;
+    double activation_count = 0.0;
+    for (const auto &op : ops) {
+        if (!op.weightOp) {
+            ++activation_ops;
+            activation_count += op.count;
+        }
+    }
+    EXPECT_EQ(activation_ops, 2u); // QK^T and PV.
+    EXPECT_EQ(activation_count, 2.0 * 12 * 12); // heads x layers x 2.
+}
+
+TEST(Graph, AttentionGeometryMatchesPublishedConfigs)
+{
+    const auto bert = attentionGeometry(ModelId::BertBase);
+    EXPECT_EQ(bert.heads, 12u);
+    EXPECT_EQ(bert.headDim, 64u);
+    const auto opt = attentionGeometry(ModelId::Opt67b);
+    EXPECT_EQ(opt.heads * opt.headDim, 4096u);
+}
+
+TEST(Graph, MacSplitIsSequenceSensitive)
+{
+    // Attention MACs grow quadratically in seq; weight MACs linearly.
+    const auto short_seq = graphMacs(ModelId::BertBase, 128);
+    const auto long_seq = graphMacs(ModelId::BertBase, 512);
+    const double act_ratio =
+        long_seq.activationMacs / short_seq.activationMacs;
+    const double w_ratio = long_seq.weightMacs / short_seq.weightMacs;
+    EXPECT_NEAR(w_ratio, 4.0, 0.01);
+    EXPECT_GT(act_ratio, 10.0);
+    EXPECT_GT(long_seq.weightBoundSpeedupCeiling(), 1.0);
+    EXPECT_LT(long_seq.weightBoundSpeedupCeiling(),
+              short_seq.weightBoundSpeedupCeiling());
+}
+
+TEST(Graph, RunInferenceCostsMoreThanWeightsOnly)
+{
+    using accel::AccelKind;
+    const auto weights_only = accel::runModel(
+        AccelKind::TbStc, ModelId::BertBase, 0.75, 128);
+    const auto full = accel::runInference(
+        AccelKind::TbStc, ModelId::BertBase, 0.75, 128);
+    EXPECT_GT(full.cycles, weights_only.cycles);
+    EXPECT_GT(full.energy.totalJ(), weights_only.energy.totalJ());
+}
+
+TEST(Graph, AttentionDilutesEndToEndSpeedup)
+{
+    // Amdahl: with dense attention in the denominator, the full-pass
+    // speedup is lower than the weights-only speedup.
+    using accel::AccelKind;
+    const auto dense_w =
+        accel::runModel(AccelKind::TC, ModelId::BertBase, 0.0, 128);
+    const auto sparse_w =
+        accel::runModel(AccelKind::TbStc, ModelId::BertBase, 0.75, 128);
+    const auto dense_full = accel::runInference(
+        AccelKind::TC, ModelId::BertBase, 0.0, 128);
+    const auto sparse_full = accel::runInference(
+        AccelKind::TbStc, ModelId::BertBase, 0.75, 128);
+    const double weights_speedup = dense_w.cycles / sparse_w.cycles;
+    const double full_speedup =
+        dense_full.cycles / sparse_full.cycles;
+    EXPECT_LT(full_speedup, weights_speedup);
+    EXPECT_GT(full_speedup, 1.0);
+}
+
+} // namespace

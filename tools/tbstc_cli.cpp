@@ -1,0 +1,357 @@
+/**
+ * @file
+ * tbstc — command-line driver for the TB-STC simulator.
+ *
+ * Subcommands:
+ *   run      simulate one model or one layer on one accelerator
+ *   compare  simulate a workload on every accelerator
+ *   formats  storage-format study (bytes, redundancy, bandwidth)
+ *   area     area/power breakdown of an accelerator
+ *
+ * Examples:
+ *   tbstc run --accel tbstc --model bert --sparsity 0.75 --seq 128
+ *   tbstc run --accel tbstc --layer 3072x768x128 --sparsity 0.5 --csv
+ *   tbstc compare --model opt --sparsity 0.5 --seq 256
+ *   tbstc formats --layer 512x512x1 --sparsity 0.75
+ *   tbstc area --accel tbstc
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "format/encoding.hpp"
+#include "sim/dram.hpp"
+#include "sim/energy.hpp"
+#include "util/table.hpp"
+#include "workload/synth.hpp"
+
+using namespace tbstc;
+
+namespace {
+
+/** Minimal --key value / --flag argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                fail("unexpected argument '" + key + "'");
+            }
+            key = key.substr(2);
+            if (i + 1 < argc
+                && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "";
+            }
+        }
+    }
+
+    std::optional<std::string>
+    get(const std::string &key) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end()
+            ? std::nullopt
+            : std::optional<std::string>(it->second);
+    }
+
+    std::string
+    require(const std::string &key) const
+    {
+        const auto v = get(key);
+        if (!v || v->empty())
+            fail("missing required option --" + key);
+        return *v;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto v = get(key);
+        return v && !v->empty() ? std::stod(*v) : fallback;
+    }
+
+    uint64_t
+    getU64(const std::string &key, uint64_t fallback) const
+    {
+        const auto v = get(key);
+        return v && !v->empty() ? std::stoull(*v) : fallback;
+    }
+
+    bool has(const std::string &key) const { return get(key).has_value(); }
+
+    [[noreturn]] static void
+    fail(const std::string &msg)
+    {
+        std::fprintf(stderr, "tbstc: %s (try 'tbstc help')\n",
+                     msg.c_str());
+        std::exit(2);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+accel::AccelKind
+parseAccel(const std::string &name)
+{
+    static const std::map<std::string, accel::AccelKind> kinds{
+        {"tc", accel::AccelKind::TC},
+        {"stc", accel::AccelKind::STC},
+        {"vegeta", accel::AccelKind::Vegeta},
+        {"highlight", accel::AccelKind::HighLight},
+        {"rmstc", accel::AccelKind::RmStc},
+        {"sgcn", accel::AccelKind::Sgcn},
+        {"tbstc", accel::AccelKind::TbStc},
+        {"fan", accel::AccelKind::TbStcFan},
+    };
+    const auto it = kinds.find(name);
+    if (it == kinds.end())
+        Args::fail("unknown accelerator '" + name + "'");
+    return it->second;
+}
+
+workload::ModelId
+parseModel(const std::string &name)
+{
+    static const std::map<std::string, workload::ModelId> models{
+        {"resnet50", workload::ModelId::ResNet50},
+        {"resnet18", workload::ModelId::ResNet18},
+        {"bert", workload::ModelId::BertBase},
+        {"opt", workload::ModelId::Opt67b},
+        {"llama", workload::ModelId::Llama27b},
+    };
+    const auto it = models.find(name);
+    if (it == models.end())
+        Args::fail("unknown model '" + name + "'");
+    return it->second;
+}
+
+workload::GemmShape
+parseLayer(const std::string &spec)
+{
+    // "XxYxNB"
+    uint64_t x = 0;
+    uint64_t y = 0;
+    uint64_t nb = 0;
+    if (std::sscanf(spec.c_str(), "%llux%llux%llu",
+                    reinterpret_cast<unsigned long long *>(&x),
+                    reinterpret_cast<unsigned long long *>(&y),
+                    reinterpret_cast<unsigned long long *>(&nb))
+        != 3)
+        Args::fail("layer spec must be XxYxNB, got '" + spec + "'");
+    return {"cli.layer", x, y, nb};
+}
+
+void
+printStats(const std::string &label, const sim::RunStats &s, bool csv)
+{
+    if (csv) {
+        std::printf("%s,%.0f,%.6e,%.6e,%.6e,%.4f,%.4f\n", label.c_str(),
+                    s.cycles, s.seconds, s.energy.totalJ(), s.edp,
+                    s.computeUtilisation, s.bwUtilisation);
+        return;
+    }
+    std::printf("%-10s cycles=%.0f time=%.3f ms energy=%.3f mJ "
+                "EDP=%.4e computeUtil=%.1f%% bwUtil=%.1f%%\n",
+                label.c_str(), s.cycles, s.seconds * 1e3,
+                s.energy.totalJ() * 1e3, s.edp,
+                s.computeUtilisation * 100.0, s.bwUtilisation * 100.0);
+}
+
+sim::RunStats
+runOne(accel::AccelKind kind, const Args &args)
+{
+    const double sparsity = args.getDouble("sparsity", 0.5);
+    const uint64_t seq = args.getU64("seq", 128);
+    const uint64_t seed = args.getU64("seed", 42);
+    const bool int8 = args.has("int8");
+
+    std::optional<sim::ArchConfig> override;
+    if (args.has("bw")) {
+        auto cfg = accel::accelConfig(kind);
+        cfg.dramGbps = args.getDouble("bw", cfg.dramGbps);
+        override = cfg;
+    }
+
+    if (args.has("layer")) {
+        accel::RunRequest req;
+        req.shape = parseLayer(args.require("layer"));
+        req.sparsity = sparsity;
+        req.seed = seed;
+        req.int8Weights = int8;
+        req.configOverride = override;
+        return accel::runLayer(kind, req);
+    }
+    const auto model = parseModel(args.require("model"));
+    if (args.has("full")) {
+        // Full inference pass: weight GEMMs + dense attention GEMMs.
+        return accel::runInference(kind, model, sparsity, seq, int8,
+                                   seed);
+    }
+    if (override) {
+        sim::RunStats total;
+        for (const auto &shape : workload::modelLayers(model, seq)) {
+            accel::RunRequest req;
+            req.shape = shape;
+            req.sparsity = sparsity;
+            req.seed = seed;
+            req.int8Weights = int8;
+            req.configOverride = override;
+            total.accumulate(accel::runLayer(kind, req));
+        }
+        return total;
+    }
+    return accel::runModel(kind, model, sparsity, seq, int8, seed);
+}
+
+int
+cmdRun(const Args &args)
+{
+    const auto kind = parseAccel(args.require("accel"));
+    const bool csv = args.has("csv");
+    if (csv)
+        std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
+                    "bwUtil\n");
+    printStats(accel::accelName(kind), runOne(kind, args), csv);
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    const bool csv = args.has("csv");
+    if (csv)
+        std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
+                    "bwUtil\n");
+    for (auto kind :
+         {accel::AccelKind::TC, accel::AccelKind::STC,
+          accel::AccelKind::Vegeta, accel::AccelKind::HighLight,
+          accel::AccelKind::RmStc, accel::AccelKind::Sgcn,
+          accel::AccelKind::TbStc}) {
+        printStats(accel::accelName(kind), runOne(kind, args), csv);
+    }
+    return 0;
+}
+
+int
+cmdFormats(const Args &args)
+{
+    const auto shape = args.has("layer")
+        ? parseLayer(args.require("layer"))
+        : workload::GemmShape{"cli.formats", 512, 512, 1};
+    const double sparsity = args.getDouble("sparsity", 0.75);
+    const uint64_t seed = args.getU64("seed", 42);
+
+    const auto w = workload::synthWeights(shape, seed, 4096);
+    const auto scores = core::magnitudeScores(w);
+    const auto tbs = core::tbsMask(scores, sparsity, 8,
+                                   core::defaultCandidates(8));
+    const sim::DramModel dram{sim::ArchConfig{}};
+
+    util::Table t({"format", "bytes", "redundancy", "segments",
+                   "bandwidth util"});
+    auto row = [&](const std::string &name,
+                   const format::Encoding &enc) {
+        const auto p = enc.streamProfile(8);
+        t.addRow({name, std::to_string(enc.storageBytes()),
+                  util::fmtDouble(p.redundancy() * 100.0, 1) + "%",
+                  std::to_string(p.segments),
+                  util::fmtDouble(
+                      dram.stream(p).utilisation() * 100.0, 1)
+                      + "%"});
+    };
+    row("Dense", *format::encodeDense(w));
+    row("SDC", *format::encodeSdc(w, tbs.mask));
+    row("CSR", *format::encodeCsr(w, tbs.mask));
+    row("Bitmap", *format::encodeBitmap(w, tbs.mask));
+    row("DDC", *format::encodeDdc(w, tbs.mask, tbs.meta));
+    std::printf("TBS mask on %llux%llu at %.1f%% sparsity:\n",
+                static_cast<unsigned long long>(w.rows()),
+                static_cast<unsigned long long>(w.cols()),
+                sparsity * 100.0);
+    t.print();
+    return 0;
+}
+
+int
+cmdArea(const Args &args)
+{
+    const auto kind = parseAccel(args.require("accel"));
+    const sim::AreaModel model{accel::accelConfig(kind)};
+    util::Table t({"component", "area(mm^2)", "power(mW)"});
+    for (const auto &c : model.components())
+        t.addRow({c.name, util::fmtDouble(c.areaMm2, 3),
+                  util::fmtDouble(c.powerMw, 2)});
+    t.addRow({"Total", util::fmtDouble(model.totalAreaMm2(), 3),
+              util::fmtDouble(model.totalPowerMw(), 2)});
+    t.print();
+    return 0;
+}
+
+int
+cmdHelp()
+{
+    std::puts(
+        "tbstc — TB-STC sparse-tensor-core simulator\n"
+        "\n"
+        "usage: tbstc <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run      --accel K (--model M | --layer XxYxNB) [options]\n"
+        "  compare  (--model M | --layer XxYxNB) [options]\n"
+        "  formats  [--layer XxYxNB] [--sparsity S] [--seed N]\n"
+        "  area     --accel K\n"
+        "  help\n"
+        "\n"
+        "accelerators: tc stc vegeta highlight rmstc sgcn tbstc fan\n"
+        "models:       resnet50 resnet18 bert opt llama\n"
+        "\n"
+        "options:\n"
+        "  --sparsity S   weight sparsity degree (default 0.5)\n"
+        "  --seq N        sequence length for transformers (default 128)\n"
+        "  --bw GB/s      override off-chip bandwidth\n"
+        "  --int8         8-bit weights (Q+S mode)\n"
+        "  --full         include dense attention GEMMs (inference)\n"
+        "  --seed N       weight-synthesis seed (default 42)\n"
+        "  --csv          machine-readable output");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return cmdHelp();
+    const std::string cmd = argv[1];
+    try {
+        const Args args(argc, argv);
+        if (cmd == "run")
+            return cmdRun(args);
+        if (cmd == "compare")
+            return cmdCompare(args);
+        if (cmd == "formats")
+            return cmdFormats(args);
+        if (cmd == "area")
+            return cmdArea(args);
+        if (cmd == "help" || cmd == "--help")
+            return cmdHelp();
+        Args::fail("unknown command '" + cmd + "'");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tbstc: %s\n", e.what());
+        return 1;
+    }
+}
