@@ -11,13 +11,109 @@
 #ifndef TBSTC_BENCH_BENCH_UTIL_HPP
 #define TBSTC_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace tbstc::bench {
+
+/**
+ * Machine-readable bench output. Every bench main() constructs one and
+ * registers its tables; when the bench was invoked with `--json <path>`
+ * the destructor dumps all measured rows plus the bench wall-time as
+ * JSON, so BENCH_*.json perf/result trajectories can be tracked across
+ * commits. Without the flag this is a no-op shell around the bench.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(int argc, char **argv, std::string bench)
+        : bench_(std::move(bench)), start_(Clock::now())
+    {
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::string(argv[i]) == "--json")
+                path_ = argv[i + 1];
+    }
+
+    /** Record one named table (no-op unless --json was given). */
+    void
+    addTable(const std::string &name, const util::Table &t)
+    {
+        if (path_.empty())
+            return;
+        std::string json = "    {\"name\": " + quote(name)
+            + ", \"header\": " + cells(t.header()) + ", \"rows\": [";
+        for (size_t r = 0; r < t.data().size(); ++r)
+            json += (r ? ", " : "") + cells(t.data()[r]);
+        json += "]}";
+        tables_.push_back(std::move(json));
+    }
+
+    ~BenchReport()
+    {
+        if (path_.empty())
+            return;
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            util::warn("cannot write --json file '{}'", path_);
+            return;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": %s,\n  \"wall_seconds\": %.6f,\n"
+                     "  \"threads\": %zu,\n  \"tables\": [\n",
+                     quote(bench_).c_str(), wall,
+                     util::effectiveThreads());
+        for (size_t i = 0; i < tables_.size(); ++i)
+            std::fprintf(f, "%s%s\n", tables_[i].c_str(),
+                         i + 1 < tables_.size() ? "," : "");
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    }
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    static std::string
+    cells(const std::vector<std::string> &row)
+    {
+        std::string out = "[";
+        for (size_t i = 0; i < row.size(); ++i)
+            out += (i ? ", " : "") + quote(row[i]);
+        return out + "]";
+    }
+
+    std::string bench_;
+    std::string path_;
+    Clock::time_point start_;
+    std::vector<std::string> tables_;
+};
 
 /** The baseline set of paper Sec. VII-A2 (without the ablation FAN). */
 inline std::vector<accel::AccelKind>

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/accuracy_model.hpp"
 
@@ -24,8 +25,9 @@ using bench::fmtRatio;
 using workload::ModelId;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "fig13_end2end");
     struct Workload
     {
         ModelId model;
@@ -44,45 +46,73 @@ main()
 
     util::banner("Fig. 13: end-to-end speedup / normalized EDP at "
                  "iso-accuracy (vs dense TC)");
-    for (const auto &w : workloads) {
-        // The accuracy every pattern must match: US at the target
-        // sparsity (see DESIGN.md for the calibrated proxy).
-        const double target_acc = workload::proxyAccuracy(
-            w.model, core::Pattern::US, w.target_sparsity);
 
-        util::Table t({"accel", "sparsity", "accuracy", "speedup",
-                       "norm.EDP"});
-        const auto dense =
-            accel::runModel(AccelKind::TC, w.model, 0.0, w.seq);
-        for (AccelKind kind : kinds) {
+    // Every (workload, accelerator) cell — plus each workload's dense
+    // reference — is an independent whole-model simulation; run the
+    // grid in parallel and assemble the tables in order afterwards.
+    struct Cell
+    {
+        double sparsity = 0.0;
+        sim::RunStats stats;
+    };
+    const size_t per_workload = kinds.size() + 1; // Job 0 = dense ref.
+    const auto cells = util::parallelMap<Cell>(
+        workloads.size() * per_workload, [&](size_t job) {
+            const Workload &w = workloads[job / per_workload];
+            const size_t j = job % per_workload;
+            if (j == 0)
+                return Cell{0.0, accel::runModel(AccelKind::TC, w.model,
+                                                 0.0, w.seq)};
+            const AccelKind kind = kinds[j - 1];
             const core::Pattern pattern = accel::accelPattern(kind);
             double sparsity = 0.0;
             if (kind == AccelKind::STC) {
                 sparsity = 0.5; // Hard-wired 4:8.
             } else if (pattern != core::Pattern::Dense) {
+                // The accuracy every pattern must match: US at the
+                // target sparsity (see DESIGN.md for the proxy).
+                const double target_acc = workload::proxyAccuracy(
+                    w.model, core::Pattern::US, w.target_sparsity);
                 sparsity = workload::isoAccuracySparsity(
                     w.model, pattern, target_acc);
             }
-            const auto stats =
-                accel::runModel(kind, w.model, sparsity, w.seq);
-            const double speedup = dense.cycles / stats.cycles;
-            const double edp = stats.edp / dense.edp;
+            return Cell{sparsity, accel::runModel(kind, w.model,
+                                                  sparsity, w.seq)};
+        });
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = workloads[wi];
+        const double target_acc = workload::proxyAccuracy(
+            w.model, core::Pattern::US, w.target_sparsity);
+
+        util::Table t({"accel", "sparsity", "accuracy", "speedup",
+                       "norm.EDP"});
+        const Cell &dense = cells[wi * per_workload];
+        for (size_t j = 0; j < kinds.size(); ++j) {
+            const AccelKind kind = kinds[j];
+            const Cell &cell = cells[wi * per_workload + j + 1];
+            const double speedup =
+                dense.stats.cycles / cell.stats.cycles;
+            const double edp = cell.stats.edp / dense.stats.edp;
             if (kind != AccelKind::TC) {
                 speedups[kind].push_back(speedup);
                 edps[kind].push_back(edp);
             }
             t.addRow({accel::accelName(kind),
-                      util::fmtDouble(sparsity, 3),
+                      util::fmtDouble(cell.sparsity, 3),
                       util::fmtDouble(
-                          workload::proxyAccuracy(w.model, pattern,
-                                                  sparsity),
+                          workload::proxyAccuracy(
+                              w.model, accel::accelPattern(kind),
+                              cell.sparsity),
                           2),
-                      fmtRatio(speedup), util::fmtDouble(edp, 3)});
+                      fmtRatio(speedup),
+                      util::fmtDouble(edp, 3)});
         }
         std::printf("\n[%s, seq=%llu, target accuracy %.2f]\n",
                     workload::modelName(w.model).c_str(),
                     static_cast<unsigned long long>(w.seq), target_acc);
         t.print();
+        report.addTable(workload::modelName(w.model), t);
     }
 
     util::banner("Fig. 13 summary: TB-STC vs baselines (geomean over "
@@ -108,5 +138,6 @@ main()
                   fmtRatio(util::geomean(ed)), paper.at(kind)});
     }
     s.print();
+    report.addTable("summary", s);
     return 0;
 }

@@ -10,6 +10,10 @@
  * (94.91 -> 93.82); Q+S adds 1.33x / 1.39x on ResNet-50 / BERT;
  * bandwidth saturates around 256 GB/s; TB-STC beats SGCN by ~1.32x
  * for 30-90% sparsity but loses at 95%.
+ *
+ * Every sweep point is an independent (train +) simulate unit, so each
+ * section fans its points out over the worker pool (TBSTC_THREADS) and
+ * assembles rows in index order — output is identical at any count.
  */
 
 #include <cstdio>
@@ -17,6 +21,7 @@
 
 #include "bench_util.hpp"
 #include "nn/sparse_train.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/accuracy_model.hpp"
 
@@ -48,7 +53,7 @@ trainAtBlockSize(size_t m, uint64_t seed)
 }
 
 void
-blockSize()
+blockSize(bench::BenchReport &report)
 {
     util::banner("Fig. 15(a): block size vs speedup and measured "
                  "accuracy (75% TBS)");
@@ -57,19 +62,29 @@ blockSize()
     dense_req.shape = workload::GemmShape{"conv4.3x3", 256, 2304, 196};
     dense_req.sparsity = 0.0;
     const auto dense = accel::runLayer(AccelKind::TC, dense_req);
-    for (size_t m : {4u, 8u, 16u, 32u}) {
-        accel::RunRequest req = dense_req;
-        req.sparsity = 0.75;
-        req.m = m;
-        const auto s = accel::runLayer(AccelKind::TbStc, req);
-        // Really train at this block size (2 seeds averaged).
-        const double acc = 0.5 * (trainAtBlockSize(m, 31)
-                                  + trainAtBlockSize(m, 32));
-        t.addRow({std::to_string(m),
-                  bench::fmtRatio(dense.cycles / s.cycles),
-                  util::fmtDouble(acc, 2)});
-    }
+    const std::vector<size_t> ms{4, 8, 16, 32};
+    struct Point
+    {
+        double speedup = 0.0;
+        double acc = 0.0;
+    };
+    const auto points = util::parallelMap<Point>(
+        ms.size(), [&](size_t i) {
+            accel::RunRequest req = dense_req;
+            req.sparsity = 0.75;
+            req.m = ms[i];
+            const auto s = accel::runLayer(AccelKind::TbStc, req);
+            // Really train at this block size (2 seeds averaged).
+            const double acc = 0.5 * (trainAtBlockSize(ms[i], 31)
+                                      + trainAtBlockSize(ms[i], 32));
+            return Point{dense.cycles / s.cycles, acc};
+        });
+    for (size_t i = 0; i < ms.size(); ++i)
+        t.addRow({std::to_string(ms[i]),
+                  bench::fmtRatio(points[i].speedup),
+                  util::fmtDouble(points[i].acc, 2)});
     t.print();
+    report.addTable("fig15a_block_size", t);
     std::printf("Reading: speedup peaks at M = 8 and saturates beyond. "
                 "Measured MLP accuracy\ndifferences across M sit "
                 "inside seed noise (~1%%), the same magnitude as the\n"
@@ -78,7 +93,7 @@ blockSize()
 }
 
 void
-quantization()
+quantization(bench::BenchReport &report)
 {
     util::banner("Fig. 15(b): weight int8 quantization on TBS-pruned "
                  "models (Q+S)");
@@ -91,71 +106,103 @@ quantization()
         double sparsity;
         const char *paper;
     };
-    for (const Row &r : {Row{ModelId::ResNet50, 0, 0.75, "1.33x"},
-                         Row{ModelId::BertBase, 128, 0.50, "1.39x"}}) {
-        const auto dense =
-            accel::runModel(AccelKind::TC, r.model, 0.0, r.seq);
-        const auto fp16 =
-            accel::runModel(AccelKind::TbStc, r.model, r.sparsity, r.seq);
-        const auto int8 = accel::runModel(AccelKind::TbStc, r.model,
-                                          r.sparsity, r.seq, true);
-        t.addRow({workload::modelName(r.model),
-                  bench::fmtRatio(dense.cycles / fp16.cycles),
-                  bench::fmtRatio(dense.cycles / int8.cycles),
-                  bench::fmtRatio(fp16.cycles / int8.cycles), r.paper});
-    }
+    const std::vector<Row> rows{
+        {ModelId::ResNet50, 0, 0.75, "1.33x"},
+        {ModelId::BertBase, 128, 0.50, "1.39x"}};
+    struct Point
+    {
+        double dense = 0.0;
+        double fp16 = 0.0;
+        double int8 = 0.0;
+    };
+    const auto points = util::parallelMap<Point>(
+        rows.size(), [&](size_t i) {
+            const Row &r = rows[i];
+            Point p;
+            p.dense =
+                accel::runModel(AccelKind::TC, r.model, 0.0, r.seq)
+                    .cycles;
+            p.fp16 = accel::runModel(AccelKind::TbStc, r.model,
+                                     r.sparsity, r.seq)
+                         .cycles;
+            p.int8 = accel::runModel(AccelKind::TbStc, r.model,
+                                     r.sparsity, r.seq, true)
+                         .cycles;
+            return p;
+        });
+    for (size_t i = 0; i < rows.size(); ++i)
+        t.addRow({workload::modelName(rows[i].model),
+                  bench::fmtRatio(points[i].dense / points[i].fp16),
+                  bench::fmtRatio(points[i].dense / points[i].int8),
+                  bench::fmtRatio(points[i].fp16 / points[i].int8),
+                  rows[i].paper});
     t.print();
+    report.addTable("fig15b_quantization", t);
 }
 
 void
-bandwidth()
+bandwidth(bench::BenchReport &report)
 {
     util::banner("Fig. 15(c): memory-bandwidth sweep (decode-style "
                  "OPT FFN layer, 87.5% TBS)");
     util::Table t({"bandwidth(GB/s)", "normalized speedup"});
-    double base = 0.0;
-    for (double bw : {32.0, 64.0, 128.0, 256.0, 512.0}) {
-        auto cfg = accel::accelConfig(AccelKind::TbStc);
-        cfg.dramGbps = bw;
-        accel::RunRequest req;
-        // Small-batch decode: weight traffic dominates, which is the
-        // regime the paper's sweep explores ("still limited by memory
-        // access when handling tasks with higher sparsity").
-        req.shape = workload::GemmShape{"opt.fc1", 16384, 4096, 8};
-        req.sparsity = 0.875;
-        req.configOverride = cfg;
-        const auto s = accel::runLayer(AccelKind::TbStc, req);
-        if (base == 0.0)
-            base = s.cycles;
-        t.addRow({util::fmtDouble(bw, 0),
-                  bench::fmtRatio(base / s.cycles)});
-    }
+    const std::vector<double> bws{32.0, 64.0, 128.0, 256.0, 512.0};
+    const auto cycles = util::parallelMap<double>(
+        bws.size(), [&](size_t i) {
+            auto cfg = accel::accelConfig(AccelKind::TbStc);
+            cfg.dramGbps = bws[i];
+            accel::RunRequest req;
+            // Small-batch decode: weight traffic dominates, which is
+            // the regime the paper's sweep explores ("still limited by
+            // memory access when handling tasks with higher
+            // sparsity").
+            req.shape = workload::GemmShape{"opt.fc1", 16384, 4096, 8};
+            req.sparsity = 0.875;
+            req.configOverride = cfg;
+            return accel::runLayer(AccelKind::TbStc, req).cycles;
+        });
+    for (size_t i = 0; i < bws.size(); ++i)
+        t.addRow({util::fmtDouble(bws[i], 0),
+                  bench::fmtRatio(cycles[0] / cycles[i])});
     t.print();
+    report.addTable("fig15c_bandwidth", t);
     std::printf("Reading: bandwidth-bound until ~256 GB/s, then "
                 "compute-bound (paper Fig. 15(c)).\n");
 }
 
 void
-sparsitySweep()
+sparsitySweep(bench::BenchReport &report)
 {
     util::banner("Fig. 15(d): sparsity sweep vs SGCN (512x512x256 "
                  "layer)");
     util::Table t({"sparsity", "SGCN cycles", "TB-STC cycles",
                    "TB-STC gain"});
+    const std::vector<double> sps{0.3, 0.5, 0.7, 0.9, 0.95};
+    struct Point
+    {
+        double sg = 0.0;
+        double tb = 0.0;
+    };
+    const auto points = util::parallelMap<Point>(
+        sps.size(), [&](size_t i) {
+            accel::RunRequest req;
+            req.shape = workload::GemmShape{"sweep", 512, 512, 256};
+            req.sparsity = sps[i];
+            return Point{accel::runLayer(AccelKind::Sgcn, req).cycles,
+                         accel::runLayer(AccelKind::TbStc, req).cycles};
+        });
     std::vector<double> mid_gains;
-    for (double sp : {0.3, 0.5, 0.7, 0.9, 0.95}) {
-        accel::RunRequest req;
-        req.shape = workload::GemmShape{"sweep", 512, 512, 256};
-        req.sparsity = sp;
-        const auto sg = accel::runLayer(AccelKind::Sgcn, req);
-        const auto tb = accel::runLayer(AccelKind::TbStc, req);
-        const double gain = sg.cycles / tb.cycles;
-        if (sp <= 0.9)
+    for (size_t i = 0; i < sps.size(); ++i) {
+        const double gain = points[i].sg / points[i].tb;
+        if (sps[i] <= 0.9)
             mid_gains.push_back(gain);
-        t.addRow({util::fmtDouble(sp, 2), util::fmtDouble(sg.cycles, 0),
-                  util::fmtDouble(tb.cycles, 0), bench::fmtRatio(gain)});
+        t.addRow({util::fmtDouble(sps[i], 2),
+                  util::fmtDouble(points[i].sg, 0),
+                  util::fmtDouble(points[i].tb, 0),
+                  bench::fmtRatio(gain)});
     }
     t.print();
+    report.addTable("fig15d_sparsity_sweep", t);
     std::printf("Mean TB-STC gain over SGCN for 30-90%% sparsity: "
                 "%.2fx (paper: 1.32x); SGCN wins at 95%%.\n",
                 util::geomean(mid_gains));
@@ -164,11 +211,12 @@ sparsitySweep()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    blockSize();
-    quantization();
-    bandwidth();
-    sparsitySweep();
+    bench::BenchReport report(argc, argv, "fig15_sensitivity");
+    blockSize(report);
+    quantization(report);
+    bandwidth(report);
+    sparsitySweep(report);
     return 0;
 }

@@ -14,14 +14,16 @@
 #include "sim/cyclesim.hpp"
 #include "sim/dram.hpp"
 #include "sim/dram_detail.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "workload/profile_builder.hpp"
 
 using namespace tbstc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv, "validation_models");
     util::banner("analytic pipeline vs event-driven cycle simulator");
     util::Table t({"workload", "regime", "analytic cycles",
                    "event-driven", "ratio"});
@@ -32,28 +34,43 @@ main()
         double sparsity;
         const char *regime;
     };
+    const std::vector<Case> cases{
+        {"bert.fc1", 3072, 768, 512, 0.5, "compute-bound"},
+        {"bert.fc1", 3072, 768, 512, 0.875, "compute-bound"},
+        {"decode", 4096, 4096, 8, 0.5, "memory-bound"},
+        {"square", 512, 512, 128, 0.625, "mixed"}};
+    // Each cross-check runs both simulators on its own profile —
+    // independent, so fan the cases out over the pool.
+    struct Pair
+    {
+        double analytic = 0.0;
+        double event = 0.0;
+    };
+    const auto runs = util::parallelMap<Pair>(
+        cases.size(), [&](size_t i) {
+            const Case &c = cases[i];
+            workload::ProfileSpec spec;
+            spec.shape = {c.name, c.x, c.y, c.nb};
+            spec.pattern = core::Pattern::TBS;
+            spec.sparsity = c.sparsity;
+            spec.fmt = format::StorageFormat::DDC;
+            const auto profile = workload::buildLayerProfile(spec);
+            const sim::ArchConfig cfg;
+            return Pair{
+                sim::simulateLayer(profile, cfg).cycles,
+                sim::simulateLayerEventDriven(profile, cfg).cycles};
+        });
     std::vector<double> ratios;
-    for (const Case &c :
-         {Case{"bert.fc1", 3072, 768, 512, 0.5, "compute-bound"},
-          Case{"bert.fc1", 3072, 768, 512, 0.875, "compute-bound"},
-          Case{"decode", 4096, 4096, 8, 0.5, "memory-bound"},
-          Case{"square", 512, 512, 128, 0.625, "mixed"}}) {
-        workload::ProfileSpec spec;
-        spec.shape = {c.name, c.x, c.y, c.nb};
-        spec.pattern = core::Pattern::TBS;
-        spec.sparsity = c.sparsity;
-        spec.fmt = format::StorageFormat::DDC;
-        const auto profile = workload::buildLayerProfile(spec);
-        const sim::ArchConfig cfg;
-        const auto analytic = sim::simulateLayer(profile, cfg);
-        const auto event = sim::simulateLayerEventDriven(profile, cfg);
-        const double ratio = event.cycles / analytic.cycles;
+    for (size_t i = 0; i < cases.size(); ++i) {
+        const double ratio = runs[i].event / runs[i].analytic;
         ratios.push_back(ratio);
-        t.addRow({c.name, c.regime, util::fmtDouble(analytic.cycles, 0),
-                  util::fmtDouble(event.cycles, 0),
+        t.addRow({cases[i].name, cases[i].regime,
+                  util::fmtDouble(runs[i].analytic, 0),
+                  util::fmtDouble(runs[i].event, 0),
                   util::fmtDouble(ratio, 3)});
     }
     t.print();
+    report.addTable("analytic_vs_event", t);
     std::printf("geomean event/analytic ratio: %.3f (the analytic "
                 "model is the fast path;\nthe event simulator bounds "
                 "its optimism)\n", util::geomean(ratios));
@@ -84,6 +101,7 @@ main()
                   bench::fmtPct(b.rowHitRate())});
     }
     d.print();
+    report.addTable("dram_models", d);
     std::printf("\nBoth models rank the formats identically; the "
                 "banked simulator pays real row\nactivations and "
                 "bounds the coarse model from below on scattered "

@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "workload/graph.hpp"
 
 namespace tbstc::accel {
@@ -165,6 +166,7 @@ runLayer(AccelKind kind, const RunRequest &req)
 
     const ArchConfig cfg =
         req.configOverride.value_or(accelConfig(kind));
+    const util::ThreadScope threads(cfg.hostThreads);
     const sim::LayerProfile profile = workload::buildLayerProfile(spec);
     sim::RunOptions opts;
     opts.int8Weights = req.int8Weights;
@@ -186,15 +188,25 @@ runModel(AccelKind kind, workload::ModelId model, double sparsity,
         auto [it, inserted] = groups.try_emplace(key, shape, 0.0);
         it->second.second += 1.0;
     }
+    // Representatives are independent simulator runs: simulate them in
+    // parallel, then accumulate in the map's (sorted-key) order so the
+    // floating-point totals match the serial path bit for bit.
+    std::vector<std::pair<workload::GemmShape, double>> reps;
+    reps.reserve(groups.size());
+    for (const auto &[key, entry] : groups)
+        reps.push_back(entry);
+    const auto stats = util::parallelMap<RunStats>(
+        reps.size(), [&](size_t i) {
+            RunRequest req;
+            req.shape = reps[i].first;
+            req.sparsity = sparsity;
+            req.seed = seed;
+            req.int8Weights = int8_weights;
+            return runLayer(kind, req).scaled(reps[i].second);
+        });
     RunStats total;
-    for (const auto &[key, entry] : groups) {
-        RunRequest req;
-        req.shape = entry.first;
-        req.sparsity = sparsity;
-        req.seed = seed;
-        req.int8Weights = int8_weights;
-        total.accumulate(runLayer(kind, req).scaled(entry.second));
-    }
+    for (const auto &s : stats)
+        total.accumulate(s);
     return total;
 }
 
@@ -204,18 +216,24 @@ runInference(AccelKind kind, workload::ModelId model, double sparsity,
 {
     RunStats total = runModel(kind, model, sparsity, seq, int8_weights,
                               seed);
+    std::vector<workload::InferenceOp> acts;
     for (const auto &op : workload::inferenceGraph(model, seq)) {
-        if (op.weightOp)
-            continue; // Already covered by runModel().
-        RunRequest req;
-        req.shape = op.shape;
-        req.sparsity = 0.0;
-        req.seed = seed;
-        // Activation GEMMs are dense whatever the weight pattern.
-        req.patternOverride = Pattern::Dense;
-        req.formatOverride = StorageFormat::Dense;
-        total.accumulate(runLayer(kind, req).scaled(op.count));
+        if (!op.weightOp) // Weight ops are covered by runModel().
+            acts.push_back(op);
     }
+    const auto stats = util::parallelMap<RunStats>(
+        acts.size(), [&](size_t i) {
+            RunRequest req;
+            req.shape = acts[i].shape;
+            req.sparsity = 0.0;
+            req.seed = seed;
+            // Activation GEMMs are dense whatever the weight pattern.
+            req.patternOverride = Pattern::Dense;
+            req.formatOverride = StorageFormat::Dense;
+            return runLayer(kind, req).scaled(acts[i].count);
+        });
+    for (const auto &s : stats)
+        total.accumulate(s);
     return total;
 }
 

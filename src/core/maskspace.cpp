@@ -2,11 +2,11 @@
 
 #include <bit>
 #include <cmath>
-#include <set>
 #include <vector>
 
 #include "util/combinatorics.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace tbstc::core {
 
@@ -106,12 +106,11 @@ bruteForceTbsBlockMasks(size_t m)
     const size_t bits = m * m;
     const size_t k = log2OfM(m);
 
-    std::set<uint64_t> masks;
-    for (uint64_t mask = 0; mask < (1ull << bits); ++mask) {
-        // A mask belongs to the block space when some candidate N makes
-        // every row exactly-N (reduction dir) or every column exactly-N
-        // (independent dir). The paper's per-block space keeps exactly
-        // N per group for the chosen N.
+    // A mask belongs to the block space when some candidate N makes
+    // every row exactly-N (reduction dir) or every column exactly-N
+    // (independent dir). The paper's per-block space keeps exactly
+    // N per group for the chosen N.
+    const auto in_space = [&](uint64_t mask) {
         for (size_t i = 0; i <= k; ++i) {
             const uint64_t n = 1ull << i;
             bool row_ok = true;
@@ -126,13 +125,23 @@ bruteForceTbsBlockMasks(size_t m)
                 row_ok = row_ok && row_nnz == n;
                 col_ok = col_ok && col_nnz == n;
             }
-            if (row_ok || col_ok) {
-                masks.insert(mask);
-                break;
-            }
+            if (row_ok || col_ok)
+                return true;
         }
-    }
-    return masks.size();
+        return false;
+    };
+
+    // The loop enumerates distinct mask values, so membership counting
+    // needs no dedup set; chunks count independently and sum exactly.
+    return util::orderedReduce<uint64_t>(
+        size_t{1} << bits, 4096, 0,
+        [&](size_t begin, size_t end) {
+            uint64_t count = 0;
+            for (uint64_t mask = begin; mask < end; ++mask)
+                count += in_space(mask);
+            return count;
+        },
+        [](uint64_t acc, uint64_t c) { return acc + c; });
 }
 
 uint64_t

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace tbstc::core {
 
@@ -15,10 +16,15 @@ namespace {
 
 /**
  * Mark the top @p n of @p vals in @p keep (1 = kept). Deterministic
- * tie-break: higher score wins, then lower index.
+ * tie-break: higher score wins, then lower index. The comparator is a
+ * strict total order, so the top-n set is unique and nth_element
+ * selects exactly the set a full sort would — in linear time, without
+ * ordering the survivors. @p scratch is reused across calls so
+ * per-block selection never re-allocates.
  */
 void
-selectTopN(std::span<const float> vals, size_t n, std::span<uint8_t> keep)
+selectTopN(std::span<const float> vals, size_t n, std::span<uint8_t> keep,
+           std::vector<size_t> &scratch)
 {
     ensure(vals.size() == keep.size(), "selectTopN size mismatch");
     std::fill(keep.begin(), keep.end(), uint8_t{0});
@@ -28,16 +34,16 @@ selectTopN(std::span<const float> vals, size_t n, std::span<uint8_t> keep)
         std::fill(keep.begin(), keep.end(), uint8_t{1});
         return;
     }
-    std::vector<size_t> idx(vals.size());
-    std::iota(idx.begin(), idx.end(), size_t{0});
-    std::partial_sort(idx.begin(), idx.begin() + n, idx.end(),
-                      [&](size_t a, size_t b) {
-                          if (vals[a] != vals[b])
-                              return vals[a] > vals[b];
-                          return a < b;
-                      });
+    scratch.resize(vals.size());
+    std::iota(scratch.begin(), scratch.end(), size_t{0});
+    std::nth_element(scratch.begin(), scratch.begin() + n, scratch.end(),
+                     [&](size_t a, size_t b) {
+                         if (vals[a] != vals[b])
+                             return vals[a] > vals[b];
+                         return a < b;
+                     });
     for (size_t i = 0; i < n; ++i)
-        keep[idx[i]] = 1;
+        keep[scratch[i]] = 1;
 }
 
 /** Target number of kept elements for a sparsity degree. */
@@ -152,7 +158,8 @@ usMask(const Matrix &scores, double sparsity)
     const size_t k = targetNnz(scores.size(), sparsity);
     Mask mask(scores.rows(), scores.cols());
     std::vector<uint8_t> keep(scores.size());
-    selectTopN(scores.data(), k, keep);
+    std::vector<size_t> scratch;
+    selectTopN(scores.data(), k, keep, scratch);
     for (size_t r = 0; r < scores.rows(); ++r)
         for (size_t c = 0; c < scores.cols(); ++c)
             mask.at(r, c) = keep[r * scores.cols() + c];
@@ -167,11 +174,12 @@ tsMask(const Matrix &scores, size_t n, size_t m)
     Mask mask(scores.rows(), scores.cols());
     std::vector<float> tile(m);
     std::vector<uint8_t> keep(m);
+    std::vector<size_t> scratch;
     for (size_t r = 0; r < scores.rows(); ++r) {
         for (size_t t = 0; t < scores.cols(); t += m) {
             for (size_t i = 0; i < m; ++i)
                 tile[i] = scores.at(r, t + i);
-            selectTopN(tile, n, keep);
+            selectTopN(tile, n, keep, scratch);
             for (size_t i = 0; i < m; ++i)
                 mask.at(r, t + i) = keep[i];
         }
@@ -200,11 +208,12 @@ rsvMask(const Matrix &scores, double sparsity, size_t m,
     Mask mask(scores.rows(), scores.cols());
     std::vector<float> tile(m);
     std::vector<uint8_t> keep(m);
+    std::vector<size_t> scratch;
     for (size_t r = 0; r < scores.rows(); ++r) {
         for (size_t t = 0; t < scores.cols(); t += m) {
             for (size_t i = 0; i < m; ++i)
                 tile[i] = scores.at(r, t + i);
-            selectTopN(tile, n[r], keep);
+            selectTopN(tile, n[r], keep, scratch);
             for (size_t i = 0; i < m; ++i)
                 mask.at(r, t + i) = keep[i];
         }
@@ -300,6 +309,7 @@ rshMask(const Matrix &scores, double sparsity, size_t m,
     Mask mask(scores.rows(), scores.cols());
     std::vector<float> tile(m);
     std::vector<uint8_t> keep(m);
+    std::vector<size_t> scratch;
     for (size_t u = 0; u < supers.size(); ++u) {
         const Super &s = supers[u];
         std::vector<std::pair<double, size_t>> mass(s.tiles);
@@ -319,7 +329,7 @@ rshMask(const Matrix &scores, double sparsity, size_t m,
             const size_t t = mass[rank].second;
             for (size_t i = 0; i < m; ++i)
                 tile[i] = scores.at(s.row, (s.tile0 + t) * m + i);
-            selectTopN(tile, s.n0, keep);
+            selectTopN(tile, s.n0, keep, scratch);
             for (size_t i = 0; i < m; ++i)
                 mask.at(s.row, (s.tile0 + t) * m + i) = keep[i];
         }
@@ -339,16 +349,21 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
     const size_t block_cols = scores.cols() / m;
 
     // Step 2: choose N per block from the unstructured block density.
+    // Blocks are independent and write index-addressed slots, so the
+    // density scan parallelizes; the largest-remainder promotion pass
+    // inside fitCounts is a global ordered pass and stays serial.
     std::vector<FitUnit> units(block_rows * block_cols);
-    for (size_t br = 0; br < block_rows; ++br) {
-        for (size_t bc = 0; bc < block_cols; ++bc) {
+    util::parallelFor(units.size(), 0, [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+            const size_t br = u / block_cols;
+            const size_t bc = u % block_cols;
             size_t nnz = 0;
             for (size_t r = 0; r < m; ++r)
                 for (size_t c = 0; c < m; ++c)
                     nnz += us.at(br * m + r, bc * m + c);
-            units[br * block_cols + bc] = {static_cast<double>(nnz), m};
+            units[u] = {static_cast<double>(nnz), m};
         }
-    }
+    });
     const std::vector<uint8_t> n = fitCounts(units, candidates, target);
 
     // Step 3: per block, choose the pruning direction by L1 distance to
@@ -360,19 +375,25 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
     out.meta.blockCols = block_cols;
     out.meta.blocks.resize(block_rows * block_cols);
 
-    std::vector<float> line(m);
-    std::vector<uint8_t> keep(m);
-    std::vector<uint8_t> row_mask(m * m);
-    std::vector<uint8_t> col_mask(m * m);
-    for (size_t br = 0; br < block_rows; ++br) {
-        for (size_t bc = 0; bc < block_cols; ++bc) {
-            const uint8_t nb = n[br * block_cols + bc];
+    // Each block's (N, dim) choice is independent and its mask cells
+    // are disjoint, so blocks score and materialize in parallel.
+    util::parallelFor(
+        block_rows * block_cols, 0, [&](size_t begin, size_t end) {
+        std::vector<float> line(m);
+        std::vector<uint8_t> keep(m);
+        std::vector<uint8_t> row_mask(m * m);
+        std::vector<uint8_t> col_mask(m * m);
+        std::vector<size_t> scratch;
+        for (size_t u = begin; u < end; ++u) {
+            const size_t br = u / block_cols;
+            const size_t bc = u % block_cols;
+            const uint8_t nb = n[u];
 
             // Reduction direction: top-N per row of the block.
             for (size_t r = 0; r < m; ++r) {
                 for (size_t c = 0; c < m; ++c)
                     line[c] = scores.at(br * m + r, bc * m + c);
-                selectTopN(line, nb, keep);
+                selectTopN(line, nb, keep, scratch);
                 for (size_t c = 0; c < m; ++c)
                     row_mask[r * m + c] = keep[c];
             }
@@ -380,7 +401,7 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
             for (size_t c = 0; c < m; ++c) {
                 for (size_t r = 0; r < m; ++r)
                     line[r] = scores.at(br * m + r, bc * m + c);
-                selectTopN(line, nb, keep);
+                selectTopN(line, nb, keep, scratch);
                 for (size_t r = 0; r < m; ++r)
                     col_mask[r * m + c] = keep[r];
             }
@@ -389,9 +410,9 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
             size_t dist_col = 0;
             for (size_t r = 0; r < m; ++r) {
                 for (size_t c = 0; c < m; ++c) {
-                    const uint8_t u = us.at(br * m + r, bc * m + c);
-                    dist_row += row_mask[r * m + c] != u;
-                    dist_col += col_mask[r * m + c] != u;
+                    const uint8_t u8 = us.at(br * m + r, bc * m + c);
+                    dist_row += row_mask[r * m + c] != u8;
+                    dist_col += col_mask[r * m + c] != u8;
                 }
             }
             const bool use_row = dist_row <= dist_col;
@@ -404,7 +425,7 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
                 nb, use_row ? SparsityDim::Reduction
                             : SparsityDim::Independent};
         }
-    }
+    });
     return out;
 }
 

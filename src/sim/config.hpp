@@ -80,6 +80,15 @@ struct ArchConfig
      */
     bool elementGranular = false;
 
+    // --- Host simulation (not modeled hardware) ---
+    /**
+     * Worker threads for host-side parallelism while simulating under
+     * this config (block-parallel mask generation, per-layer sweeps).
+     * 0 inherits TBSTC_THREADS / hardware_concurrency; 1 forces the
+     * exact serial path. Results are bit-identical at any setting.
+     */
+    size_t hostThreads = 0;
+
     /** Total multipliers (peak MACs per cycle). */
     size_t
     totalLanes() const

@@ -1,0 +1,280 @@
+#include "parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "logging.hpp"
+
+namespace tbstc::util {
+
+namespace {
+
+/**
+ * Set while a thread executes chunk bodies (pool workers permanently,
+ * submitters for the duration of a batch). Nested parallel regions see
+ * it and run inline instead of re-entering the pool.
+ */
+thread_local bool inside_pool = false;
+
+/** Per-thread worker-count override; 0 = none. */
+thread_local size_t thread_override = 0;
+
+/** TBSTC_THREADS, parsed once; 0 = unset/invalid. */
+size_t
+envThreads()
+{
+    static const size_t parsed = [] {
+        const char *env = std::getenv("TBSTC_THREADS");
+        if (env == nullptr || *env == '\0')
+            return size_t{0};
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end == env || *end != '\0') {
+            warn("ignoring unparsable TBSTC_THREADS='{}'", env);
+            return size_t{0};
+        }
+        return static_cast<size_t>(v);
+    }();
+    return parsed;
+}
+
+/**
+ * One batch of chunk work. Owned by the submitting thread's stack;
+ * workers hold a pointer only between the batch being published and
+ * the submitter observing completion (both under the pool mutex).
+ */
+struct Batch
+{
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t chunks = 0;
+    std::atomic<size_t> next{0}; ///< Next unclaimed chunk index.
+    std::atomic<size_t> done{0}; ///< Completed chunk count.
+    std::vector<std::exception_ptr> errors; ///< Slot per chunk.
+};
+
+/** Run claimed chunks until the batch is exhausted. */
+void
+drainBatch(Batch &b)
+{
+    for (;;) {
+        const size_t ci = b.next.fetch_add(1, std::memory_order_relaxed);
+        if (ci >= b.chunks)
+            return;
+        try {
+            (*b.fn)(ci);
+        } catch (...) {
+            b.errors[ci] = std::current_exception();
+        }
+        b.done.fetch_add(1, std::memory_order_release);
+    }
+}
+
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(size_t workers)
+        : workers_(workers > 0 ? workers : 1)
+    {
+        // The submitter executes chunks too, so spawn workers - 1.
+        for (size_t i = 0; i + 1 < workers_; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard lk(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &t : threads_)
+            t.join();
+    }
+
+    size_t workers() const { return workers_; }
+
+    /** Execute a batch, blocking until every chunk has completed. */
+    void
+    run(size_t chunks, const std::function<void(size_t)> &fn)
+    {
+        // One batch at a time; a concurrent submitter runs inline
+        // (identical chunks, identical results — just not offloaded).
+        std::unique_lock submit(submit_m_, std::try_to_lock);
+        if (!submit.owns_lock()) {
+            runInline(chunks, fn);
+            return;
+        }
+
+        Batch batch;
+        batch.fn = &fn;
+        batch.chunks = chunks;
+        batch.errors.resize(chunks);
+        {
+            std::lock_guard lk(m_);
+            batch_ = &batch;
+            ++epoch_;
+        }
+        cv_.notify_all();
+
+        const bool was_inside = inside_pool;
+        inside_pool = true;
+        drainBatch(batch);
+        inside_pool = was_inside;
+
+        {
+            std::unique_lock lk(m_);
+            done_cv_.wait(lk, [&] {
+                return active_ == 0
+                    && batch.done.load(std::memory_order_acquire)
+                    == chunks;
+            });
+            batch_ = nullptr;
+        }
+        for (auto &err : batch.errors)
+            if (err)
+                std::rethrow_exception(err);
+    }
+
+    static void
+    runInline(size_t chunks, const std::function<void(size_t)> &fn)
+    {
+        for (size_t ci = 0; ci < chunks; ++ci)
+            fn(ci);
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        inside_pool = true;
+        uint64_t seen = 0;
+        std::unique_lock lk(m_);
+        for (;;) {
+            cv_.wait(lk, [&] {
+                return stop_ || (batch_ != nullptr && epoch_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = epoch_;
+            Batch *b = batch_;
+            ++active_;
+            lk.unlock();
+            drainBatch(*b);
+            lk.lock();
+            --active_;
+            if (active_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+
+    size_t workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex submit_m_; ///< Serializes batch submissions.
+    std::mutex m_;
+    std::condition_variable cv_;      ///< Wakes workers for a batch.
+    std::condition_variable done_cv_; ///< Wakes the submitter.
+    Batch *batch_ = nullptr;          ///< Guarded by m_.
+    uint64_t epoch_ = 0;              ///< Guarded by m_.
+    size_t active_ = 0;               ///< Workers inside the batch.
+    bool stop_ = false;
+};
+
+/** Shared pool, rebuilt when the effective worker count changes. */
+ThreadPool &
+globalPool(size_t want)
+{
+    static std::mutex pool_m;
+    static std::unique_ptr<ThreadPool> pool;
+    std::lock_guard lk(pool_m);
+    if (!pool || pool->workers() != want)
+        pool = std::make_unique<ThreadPool>(want);
+    return *pool;
+}
+
+} // namespace
+
+size_t
+effectiveThreads()
+{
+    if (thread_override > 0)
+        return thread_override;
+    if (envThreads() > 0)
+        return envThreads();
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+setThreads(size_t n)
+{
+    thread_override = n;
+}
+
+ThreadScope::ThreadScope(size_t n)
+{
+    if (n == 0)
+        return;
+    saved_ = thread_override;
+    thread_override = n;
+    active_ = true;
+}
+
+ThreadScope::~ThreadScope()
+{
+    if (active_)
+        thread_override = saved_;
+}
+
+void
+runChunked(size_t chunks, const std::function<void(size_t)> &chunk)
+{
+    if (chunks == 0)
+        return;
+    const size_t workers = effectiveThreads();
+    if (workers <= 1 || chunks == 1 || inside_pool) {
+        ThreadPool::runInline(chunks, chunk);
+        return;
+    }
+    globalPool(workers).run(chunks, chunk);
+}
+
+void
+parallelFor(size_t n, size_t grain,
+            const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (grain == 0) {
+        // Load-balancing auto-grain. Bodies write index-addressed
+        // disjoint locations, so a worker-count-dependent layout is
+        // still deterministic (unlike orderedReduce, whose fold order
+        // must be pinned by an explicit grain).
+        grain = n / (effectiveThreads() * 8);
+        if (grain == 0)
+            grain = 1;
+    }
+    const size_t chunks = (n + grain - 1) / grain;
+    runChunked(chunks, [&](size_t ci) {
+        const size_t begin = ci * grain;
+        const size_t end = begin + grain < n ? begin + grain : n;
+        body(begin, end);
+    });
+}
+
+std::vector<Rng>
+rngStreams(uint64_t seed, size_t n)
+{
+    Rng root(seed);
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        streams.push_back(root.split());
+    return streams;
+}
+
+} // namespace tbstc::util

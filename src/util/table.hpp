@@ -41,6 +41,16 @@ class Table
 
     size_t rows() const { return rows_.size(); }
 
+    /** Column headers (for machine-readable export). */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Row cells (for machine-readable export). */
+    const std::vector<std::vector<std::string>> &
+    data() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

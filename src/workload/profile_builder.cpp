@@ -6,6 +6,7 @@
 #include "core/sparsify.hpp"
 #include "synth.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 
 namespace tbstc::workload {
 
@@ -102,9 +103,14 @@ buildLayerProfile(const ProfileSpec &spec)
     profile.m = m;
     profile.sampleScale = scale;
     profile.aNnz = mask.nnz();
-    profile.blocks.reserve(meta.blocks.size());
-    for (size_t br = 0; br < meta.blockRows; ++br) {
-        for (size_t bc = 0; bc < meta.blockCols; ++bc) {
+    // Per-block task derivation only reads the (frozen) mask and
+    // writes its own slot — scan blocks in parallel.
+    profile.blocks.resize(meta.blocks.size());
+    util::parallelFor(
+        meta.blocks.size(), 0, [&](size_t begin, size_t end) {
+        for (size_t u = begin; u < end; ++u) {
+            const size_t br = u / meta.blockCols;
+            const size_t bc = u % meta.blockCols;
             const auto &info = meta.block(br, bc);
             BlockTask task;
             size_t nnz = 0;
@@ -121,9 +127,9 @@ buildLayerProfile(const ProfileSpec &spec)
             task.nonemptyRows = static_cast<uint8_t>(nonempty);
             task.independentDim = info.dim == SparsityDim::Independent
                 && info.n > 0 && info.n < m;
-            profile.blocks.push_back(task);
+            profile.blocks[u] = task;
         }
-    }
+    });
 
     // Storage-format stream profile.
     std::unique_ptr<format::Encoding> enc;

@@ -9,9 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/accelerator.hpp"
+#include "core/maskspace.hpp"
 #include "core/prune.hpp"
 #include "sim/pipeline.hpp"
 #include "core/sparsify.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "workload/accuracy_model.hpp"
 #include "workload/profile_builder.hpp"
@@ -87,6 +90,105 @@ TEST(Golden, MaskSimilarityStable)
     const double b = workload::maskSimilarity(core::Pattern::TBS, 0.75, 8);
     EXPECT_EQ(a, b);
     EXPECT_GT(a, 0.80);
+}
+
+TEST(Golden, TbsMaskBitIdenticalAcrossThreadCounts)
+{
+    // The block-wise sparsifier fans blocks out over a pool; its
+    // output must match the pinned serial golden at any worker count.
+    const auto w = workload::synthWeights({"golden", 64, 64, 1}, 7);
+    const auto scores = core::magnitudeScores(w);
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        util::ThreadScope scope(threads);
+        const auto res =
+            core::tbsMask(scores, 0.75, 8, core::defaultCandidates(8));
+        EXPECT_EQ(hashBytes(res.mask.data()), 0x9bd674c42093ae19ull)
+            << "threads=" << threads;
+        EXPECT_EQ(res.mask.nnz(), 1024u);
+    }
+}
+
+TEST(Golden, MaskSpaceCountBitIdenticalAcrossThreadCounts)
+{
+    util::ThreadScope serial(1);
+    const uint64_t golden = core::bruteForceTbsBlockMasks(4);
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        util::ThreadScope scope(threads);
+        EXPECT_EQ(core::bruteForceTbsBlockMasks(4), golden)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Golden, LayerSweepBitIdenticalAcrossThreadCounts)
+{
+    // A full layer sweep (profile build + analytic sim, several
+    // patterns): float cycle/energy totals must agree to the last bit
+    // between serial and parallel execution.
+    const auto sweep = [] {
+        std::vector<double> out;
+        for (const core::Pattern p :
+             {core::Pattern::US, core::Pattern::TS, core::Pattern::TBS})
+            for (const double sp : {0.5, 0.75}) {
+                workload::ProfileSpec spec;
+                spec.shape = {"sweep", 128, 128, 32};
+                spec.pattern = p;
+                spec.sparsity = sp;
+                spec.fmt = format::StorageFormat::DDC;
+                const auto profile = workload::buildLayerProfile(spec);
+                const auto stats =
+                    sim::simulateLayer(profile, sim::ArchConfig{});
+                out.push_back(stats.cycles);
+                out.push_back(stats.energy.totalJ());
+                out.push_back(stats.edp);
+            }
+        return out;
+    };
+    util::ThreadScope serial(1);
+    const auto golden = sweep();
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        util::ThreadScope scope(threads);
+        const auto got = sweep();
+        ASSERT_EQ(got.size(), golden.size());
+        for (size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], golden[i])
+                << "threads=" << threads << " slot=" << i;
+    }
+}
+
+TEST(Golden, ModelRunBitIdenticalAcrossThreadCounts)
+{
+    // runModel fans per-layer simulations out and folds RunStats in
+    // the serial accumulation order; whole-model totals are exact.
+    util::ThreadScope serial(1);
+    const auto golden = accel::runModel(
+        accel::AccelKind::TbStc, workload::ModelId::ResNet50, 0.75, 0);
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        util::ThreadScope scope(threads);
+        const auto got = accel::runModel(accel::AccelKind::TbStc,
+                                         workload::ModelId::ResNet50,
+                                         0.75, 0);
+        EXPECT_EQ(got.cycles, golden.cycles) << "threads=" << threads;
+        EXPECT_EQ(got.energy.totalJ(), golden.energy.totalJ());
+        EXPECT_EQ(got.edp, golden.edp);
+    }
+}
+
+TEST(Golden, HostThreadsConfigForcesSerial)
+{
+    // cfg.hostThreads pins the host worker count for a run regardless
+    // of the ambient setting — same numbers either way.
+    accel::RunRequest req;
+    req.shape = workload::GemmShape{"cfg-threads", 128, 128, 32};
+    req.sparsity = 0.75;
+    auto cfg = accel::accelConfig(accel::AccelKind::TbStc);
+    cfg.hostThreads = 1;
+    req.configOverride = cfg;
+    const auto serial = accel::runLayer(accel::AccelKind::TbStc, req);
+    util::ThreadScope scope(8);
+    req.configOverride->hostThreads = 8;
+    const auto parallel = accel::runLayer(accel::AccelKind::TbStc, req);
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_EQ(serial.energy.totalJ(), parallel.energy.totalJ());
 }
 
 TEST(Golden, EndToEndRunIsBitStable)

@@ -29,6 +29,7 @@
 #include "format/encoding.hpp"
 #include "sim/dram.hpp"
 #include "sim/energy.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "workload/synth.hpp"
 
@@ -235,13 +236,17 @@ cmdCompare(const Args &args)
     if (csv)
         std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
                     "bwUtil\n");
-    for (auto kind :
-         {accel::AccelKind::TC, accel::AccelKind::STC,
-          accel::AccelKind::Vegeta, accel::AccelKind::HighLight,
-          accel::AccelKind::RmStc, accel::AccelKind::Sgcn,
-          accel::AccelKind::TbStc}) {
-        printStats(accel::accelName(kind), runOne(kind, args), csv);
-    }
+    const std::vector<accel::AccelKind> kinds{
+        accel::AccelKind::TC,        accel::AccelKind::STC,
+        accel::AccelKind::Vegeta,    accel::AccelKind::HighLight,
+        accel::AccelKind::RmStc,     accel::AccelKind::Sgcn,
+        accel::AccelKind::TbStc};
+    // One independent simulation per accelerator: fan out, print in
+    // the fixed order.
+    const auto stats = util::parallelMap<sim::RunStats>(
+        kinds.size(), [&](size_t i) { return runOne(kinds[i], args); });
+    for (size_t i = 0; i < kinds.size(); ++i)
+        printStats(accel::accelName(kinds[i]), stats[i], csv);
     return 0;
 }
 
@@ -325,6 +330,9 @@ cmdHelp()
         "  --int8         8-bit weights (Q+S mode)\n"
         "  --full         include dense attention GEMMs (inference)\n"
         "  --seed N       weight-synthesis seed (default 42)\n"
+        "  --threads N    worker threads for parallel sweeps\n"
+        "                 (default TBSTC_THREADS or all cores; 1 =\n"
+        "                 serial; results identical at any setting)\n"
         "  --csv          machine-readable output");
     return 0;
 }
@@ -339,6 +347,8 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     try {
         const Args args(argc, argv);
+        if (args.has("threads"))
+            util::setThreads(args.getU64("threads", 0));
         if (cmd == "run")
             return cmdRun(args);
         if (cmd == "compare")
