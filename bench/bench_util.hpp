@@ -88,14 +88,23 @@ class BenchReport
     quote(const std::string &s)
     {
         std::string out = "\"";
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            if (c == '\n') {
-                out += "\\n";
-                continue;
+        for (const char c : s) {
+            switch (c) {
+              case '"':  out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\t': out += "\\t"; break;
+              case '\r': out += "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
             }
-            out += c;
         }
         return out + "\"";
     }

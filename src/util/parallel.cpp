@@ -184,16 +184,21 @@ class ThreadPool
     bool stop_ = false;
 };
 
-/** Shared pool, rebuilt when the effective worker count changes. */
-ThreadPool &
+/**
+ * Shared pool, rebuilt when the effective worker count changes. The
+ * caller keeps the returned shared_ptr for the duration of run(): a
+ * concurrent resize swaps a new pool in here, and the displaced pool
+ * is destroyed (workers joined) only when its last user finishes.
+ */
+std::shared_ptr<ThreadPool>
 globalPool(size_t want)
 {
     static std::mutex pool_m;
-    static std::unique_ptr<ThreadPool> pool;
+    static std::shared_ptr<ThreadPool> pool;
     std::lock_guard lk(pool_m);
     if (!pool || pool->workers() != want)
-        pool = std::make_unique<ThreadPool>(want);
-    return *pool;
+        pool = std::make_shared<ThreadPool>(want);
+    return pool;
 }
 
 } // namespace
@@ -240,7 +245,7 @@ runChunked(size_t chunks, const std::function<void(size_t)> &chunk)
         ThreadPool::runInline(chunks, chunk);
         return;
     }
-    globalPool(workers).run(chunks, chunk);
+    globalPool(workers)->run(chunks, chunk);
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "core/prune.hpp"
@@ -78,13 +79,20 @@ maskSimilarity(Pattern pattern, double sparsity, size_t m, uint64_t seed)
     if (pattern == Pattern::US || pattern == Pattern::Dense)
         return 1.0;
     // Memoize: the bisection in isoAccuracySparsity revisits points.
+    // Callers run inside pool workers (fig13's grid), so the cache is
+    // mutex-guarded; the probe itself is computed outside the lock —
+    // a concurrent miss may recompute, but the value is deterministic.
     using Key = std::tuple<int, long, size_t, uint64_t>;
     static std::map<Key, double> cache;
+    static std::mutex cache_m;
     const Key key{static_cast<int>(pattern),
                   std::lround(sparsity * 10000.0), m, seed};
-    const auto hit = cache.find(key);
-    if (hit != cache.end())
-        return hit->second;
+    {
+        const std::lock_guard lk(cache_m);
+        const auto hit = cache.find(key);
+        if (hit != cache.end())
+            return hit->second;
+    }
 
     constexpr size_t kDim = 256;
     const core::Matrix w =
@@ -95,8 +103,8 @@ maskSimilarity(Pattern pattern, double sparsity, size_t m, uint64_t seed)
     const core::Mask pat =
         core::patternMask(pattern, scores, sparsity, m, cand);
     const double sim = pat.agreement(us);
-    cache.emplace(key, sim);
-    return sim;
+    const std::lock_guard lk(cache_m);
+    return cache.emplace(key, sim).first->second;
 }
 
 double

@@ -92,6 +92,29 @@ TEST(Golden, MaskSimilarityStable)
     EXPECT_GT(a, 0.80);
 }
 
+TEST(Golden, MaskSimilarityConcurrentMatchesSerial)
+{
+    // fig13's grid calls proxyAccuracy -> maskSimilarity from pool
+    // workers, so the memo cache sees concurrent misses on shared and
+    // distinct keys. Run the parallel pass first on a fresh seed (cold
+    // cache), then compare against serial lookups.
+    constexpr uint64_t kSeed = 0xf13;
+    const std::vector<double> sparsities = {0.45, 0.55, 0.65, 0.75};
+    const size_t jobs = sparsities.size() * 4; // 4 workers per key.
+    util::ThreadScope scope(8);
+    const auto got = util::parallelMap<double>(jobs, [&](size_t i) {
+        return workload::maskSimilarity(
+            core::Pattern::TBS, sparsities[i % sparsities.size()], 8,
+            kSeed);
+    });
+    for (size_t i = 0; i < jobs; ++i)
+        EXPECT_EQ(got[i],
+                  workload::maskSimilarity(
+                      core::Pattern::TBS,
+                      sparsities[i % sparsities.size()], 8, kSeed))
+            << "job=" << i;
+}
+
 TEST(Golden, TbsMaskBitIdenticalAcrossThreadCounts)
 {
     // The block-wise sparsifier fans blocks out over a pool; its
