@@ -2,18 +2,35 @@
 
 #include <deque>
 
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::format {
 
 using util::ensure;
+using util::Result;
+using util::unexpected;
 
-CodecOutput
-convertToComputation(const std::vector<StorageElem> &storage,
-                     const CodecConfig &cfg)
+Result<CodecOutput, DecodeError>
+tryDecodeBlock(const std::vector<StorageElem> &storage,
+               const CodecConfig &cfg)
 {
-    ensure(cfg.m > 0 && cfg.lanes > 0 && cfg.threshold > 0,
-           "invalid CodecConfig");
+    if (cfg.m == 0 || cfg.m > 256 || cfg.lanes == 0 || cfg.threshold == 0)
+        return unexpected(DecodeError{
+            DecodeErrorKind::GeometryOverflow, 0,
+            util::formatStr("invalid codec config m={} lanes={} "
+                            "threshold={}",
+                            cfg.m, cfg.lanes, cfg.threshold)});
+    for (size_t i = 0; i < storage.size(); ++i) {
+        if (storage[i].rid >= cfg.m || storage[i].iid >= cfg.m)
+            return unexpected(DecodeError{
+                DecodeErrorKind::InfoFieldRange, i,
+                util::formatStr("element {} index ({}, {}) outside "
+                                "the {}-wide block",
+                                i, storage[i].rid, storage[i].iid,
+                                cfg.m)});
+    }
+
     CodecOutput out;
     out.values.reserve(storage.size());
     out.rids.reserve(storage.size());
@@ -37,7 +54,6 @@ convertToComputation(const std::vector<StorageElem> &storage,
         // Ingest up to `lanes` elements into the Rid-indexed queues.
         for (size_t l = 0; l < cfg.lanes && cursor < storage.size(); ++l) {
             const StorageElem &e = storage[cursor++];
-            ensure(e.rid < cfg.m, "codec: rid out of range");
             queues[e.rid].push_back(e);
         }
 
@@ -71,6 +87,17 @@ convertToComputation(const std::vector<StorageElem> &storage,
         }
     }
     return out;
+}
+
+CodecOutput
+convertToComputation(const std::vector<StorageElem> &storage,
+                     const CodecConfig &cfg)
+{
+    ensure(cfg.m > 0 && cfg.lanes > 0 && cfg.threshold > 0,
+           "invalid CodecConfig");
+    auto out = tryDecodeBlock(storage, cfg);
+    ensure(out.ok(), "codec: rid out of range");
+    return std::move(*out);
 }
 
 uint64_t

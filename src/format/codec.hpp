@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "format/decode_error.hpp"
+#include "util/result.hpp"
+
 namespace tbstc::format {
 
 /** One storage-format element entering the codec. */
@@ -52,9 +55,21 @@ struct CodecConfig
  * Convert one independent-dimension block from storage format
  * (column-major element order, as DDC stores it) to computation
  * format (row-grouped). See paper Fig. 9(c) for the worked example.
+ * @note panic() on an invalid config or an out-of-range element
+ *     index; use tryDecodeBlock() for untrusted input.
  */
 CodecOutput convertToComputation(const std::vector<StorageElem> &storage,
                                  const CodecConfig &cfg);
+
+/**
+ * Non-aborting variant of convertToComputation() for untrusted block
+ * data (e.g. straight off a deserialized stream): an invalid config
+ * or an element whose Rid/Iid falls outside the block geometry yields
+ * a structured DecodeError instead of a panic.
+ */
+util::Result<CodecOutput, DecodeError>
+tryDecodeBlock(const std::vector<StorageElem> &storage,
+               const CodecConfig &cfg);
 
 /**
  * Cycle cost of passing a reduction-dimension block through the codec

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Structured decode-error taxonomy for DDC stream ingestion.
+ *
+ * Every way a serialized stream can be rejected maps to exactly one
+ * DecodeErrorKind, so callers (the fsck tool, remote-checkpoint
+ * loaders, the fault-injection harness) can dispatch on the class of
+ * failure instead of parsing message strings. The error carries the
+ * byte offset at which validation failed, which fsck reports so a
+ * corrupted dump can be inspected with a hex editor.
+ */
+
+#ifndef TBSTC_FORMAT_DECODE_ERROR_HPP
+#define TBSTC_FORMAT_DECODE_ERROR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tbstc::format {
+
+/** Why a DDC stream was rejected. */
+enum class DecodeErrorKind : uint8_t
+{
+    Truncated,        ///< Stream ends before a required field/section.
+    BadMagic,         ///< First four bytes are not a DDC magic.
+    BadVersion,       ///< Recognized magic of an unsupported version.
+    GeometryOverflow, ///< Geometry fields inconsistent, out of range,
+                      ///< or a derived size overflows.
+    BadLadder,        ///< Candidate ladder empty, oversized, unsorted,
+                      ///< duplicated, or an N exceeds M.
+    InfoFieldRange,   ///< Info-table field out of its valid range.
+    OffsetInconsistent, ///< Info-table offset chain disagrees with the
+                        ///< group bases / running element count.
+    ChecksumMismatch, ///< Header or section CRC32 does not match.
+    PayloadOverrun,   ///< Payload/index data inconsistent with the
+                      ///< declared totals, or trailing bytes.
+};
+
+/** Stable lower-case identifier for a kind (fsck/CLI output). */
+const char *decodeErrorName(DecodeErrorKind kind);
+
+/** A rejected stream: what failed, where, and a formatted message. */
+struct DecodeError
+{
+    DecodeErrorKind kind = DecodeErrorKind::Truncated;
+    size_t offset = 0;   ///< Byte offset the validation failed at.
+    std::string message; ///< Human-readable detail.
+};
+
+} // namespace tbstc::format
+
+#endif // TBSTC_FORMAT_DECODE_ERROR_HPP

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Overflow-checked unsigned arithmetic for size/offset computations.
+ *
+ * Every size or offset derived from untrusted stream fields must go
+ * through these helpers so a corrupted length can never wrap around
+ * into a small allocation or an out-of-bounds cursor. The functions
+ * report overflow instead of producing a wrapped value.
+ */
+
+#ifndef TBSTC_UTIL_CHECKED_HPP
+#define TBSTC_UTIL_CHECKED_HPP
+
+#include <cstdint>
+
+namespace tbstc::util {
+
+/** @return false (leaving @p out unspecified) when a + b overflows. */
+inline bool
+checkedAdd(uint64_t a, uint64_t b, uint64_t &out)
+{
+    return !__builtin_add_overflow(a, b, &out);
+}
+
+/** @return false (leaving @p out unspecified) when a * b overflows. */
+inline bool
+checkedMul(uint64_t a, uint64_t b, uint64_t &out)
+{
+    return !__builtin_mul_overflow(a, b, &out);
+}
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_CHECKED_HPP

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+ *
+ * Used by the DDC v2 stream's header and per-section integrity fields.
+ * The implementation is the standard reflected table-driven form, so
+ * checksums match zlib's crc32() and can be validated externally.
+ */
+
+#ifndef TBSTC_UTIL_CRC32_HPP
+#define TBSTC_UTIL_CRC32_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace tbstc::util {
+
+/** CRC-32 of @p bytes, optionally chained from a previous @p seed. */
+uint32_t crc32(std::span<const uint8_t> bytes, uint32_t seed = 0);
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_CRC32_HPP

@@ -1,0 +1,86 @@
+#include "faultinject.hpp"
+
+#include <algorithm>
+
+#include "util/fmt.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::util {
+
+void
+FaultInjector::record(std::string description)
+{
+    log_.push_back({std::move(description)});
+}
+
+std::vector<uint8_t>
+FaultInjector::flipBits(std::span<const uint8_t> bytes, size_t count)
+{
+    std::vector<uint8_t> out(bytes.begin(), bytes.end());
+    ensure(!out.empty(), "flipBits: empty stream");
+    for (size_t i = 0; i < count; ++i) {
+        const size_t bit = rng_.below(out.size() * 8);
+        out[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        record(formatStr("flip bit {} of byte {}", bit % 8, bit / 8));
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+FaultInjector::truncate(std::span<const uint8_t> bytes, size_t size)
+{
+    ensure(size <= bytes.size(), "truncate: size exceeds stream");
+    record(formatStr("truncate {} -> {} bytes", bytes.size(), size));
+    return {bytes.begin(), bytes.begin() + size};
+}
+
+std::vector<uint8_t>
+FaultInjector::truncateRandom(std::span<const uint8_t> bytes)
+{
+    return truncate(bytes, rng_.below(bytes.size() + 1));
+}
+
+std::vector<uint8_t>
+FaultInjector::setByte(std::span<const uint8_t> bytes, size_t pos,
+                       uint8_t value)
+{
+    ensure(pos < bytes.size(), "setByte: position out of range");
+    std::vector<uint8_t> out(bytes.begin(), bytes.end());
+    record(formatStr("set byte {} to {}", pos, value));
+    out[pos] = value;
+    return out;
+}
+
+std::vector<uint8_t>
+FaultInjector::mutateRandomByte(std::span<const uint8_t> bytes)
+{
+    ensure(!bytes.empty(), "mutateRandomByte: empty stream");
+    return setByte(bytes, rng_.below(bytes.size()),
+                   static_cast<uint8_t>(rng_.below(256)));
+}
+
+std::vector<uint8_t>
+FaultInjector::swapRanges(std::span<const uint8_t> bytes, size_t a,
+                          size_t b, size_t len)
+{
+    ensure(a + len <= bytes.size() && b + len <= bytes.size(),
+           "swapRanges: range out of bounds");
+    ensure(a + len <= b || b + len <= a, "swapRanges: ranges overlap");
+    std::vector<uint8_t> out(bytes.begin(), bytes.end());
+    std::swap_ranges(out.begin() + a, out.begin() + a + len,
+                     out.begin() + b);
+    record(formatStr("swap {} bytes at {} and {}", len, a, b));
+    return out;
+}
+
+std::vector<uint8_t>
+FaultInjector::extend(std::span<const uint8_t> bytes, size_t count)
+{
+    std::vector<uint8_t> out(bytes.begin(), bytes.end());
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(static_cast<uint8_t>(rng_.below(256)));
+    record(formatStr("append {} trailing bytes", count));
+    return out;
+}
+
+} // namespace tbstc::util

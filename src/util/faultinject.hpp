@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic byte-stream corruption engine for robustness testing.
+ *
+ * FaultInjector produces hostile variants of a serialized stream —
+ * bit flips, truncations, byte overwrites, range swaps, trailing
+ * garbage — every choice drawn from the library's seeded Rng so a
+ * failing corruption reproduces bit-identically from its seed. The
+ * engine is format-agnostic: DDC-aware helpers (section boundaries,
+ * checksum fix-up) live next to the serializer.
+ */
+
+#ifndef TBSTC_UTIL_FAULTINJECT_HPP
+#define TBSTC_UTIL_FAULTINJECT_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tbstc::util {
+
+/** One applied corruption, for reproducing and reporting failures. */
+struct CorruptionRecord
+{
+    std::string description; ///< Human-readable what/where.
+};
+
+/** Seeded corruption engine over opaque byte streams. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+    /** Copy of @p bytes with @p count random bits flipped. */
+    std::vector<uint8_t> flipBits(std::span<const uint8_t> bytes,
+                                  size_t count);
+
+    /** Copy of @p bytes cut to exactly @p size bytes. */
+    std::vector<uint8_t> truncate(std::span<const uint8_t> bytes,
+                                  size_t size);
+
+    /** Copy of @p bytes cut at a random point (possibly to empty). */
+    std::vector<uint8_t> truncateRandom(std::span<const uint8_t> bytes);
+
+    /** Copy of @p bytes with the byte at @p pos overwritten. */
+    std::vector<uint8_t> setByte(std::span<const uint8_t> bytes,
+                                 size_t pos, uint8_t value);
+
+    /** Copy of @p bytes with a random byte set to a random value. */
+    std::vector<uint8_t> mutateRandomByte(std::span<const uint8_t> bytes);
+
+    /**
+     * Copy of @p bytes with the @p len bytes at @p a and @p b
+     * exchanged (ranges must be in bounds and non-overlapping).
+     */
+    std::vector<uint8_t> swapRanges(std::span<const uint8_t> bytes,
+                                    size_t a, size_t b, size_t len);
+
+    /** Copy of @p bytes with @p count random trailing bytes appended. */
+    std::vector<uint8_t> extend(std::span<const uint8_t> bytes,
+                                size_t count);
+
+    /** Corruptions applied so far, oldest first. */
+    const std::vector<CorruptionRecord> &log() const { return log_; }
+
+    /** Underlying stream, for callers mixing in their own draws. */
+    Rng &rng() { return rng_; }
+
+  private:
+    void record(std::string description);
+
+    Rng rng_;
+    std::vector<CorruptionRecord> log_;
+};
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_FAULTINJECT_HPP

@@ -40,6 +40,10 @@ class PanicError : public std::logic_error
 /**
  * Report an unrecoverable user error (bad config, invalid argument).
  *
+ * Throw-only: callers that handle the FatalError own the reporting
+ * (the CLI's top-level catch, a try*() wrapper), so a handled error
+ * never spams stderr on its way out.
+ *
  * @param fmt std::format pattern.
  * @param args Format arguments.
  */
@@ -47,13 +51,13 @@ template <typename... Args>
 [[noreturn]] void
 fatal(std::string_view fmt, const Args &...args)
 {
-    std::string msg = formatStr(fmt, args...);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    throw FatalError(msg);
+    throw FatalError(formatStr(fmt, args...));
 }
 
 /**
  * Report a violated internal invariant (a bug in this library).
+ * Throw-only, like fatal(); the message reaches stderr only at an
+ * unhandled-exception boundary.
  *
  * @param fmt std::format pattern.
  * @param args Format arguments.
@@ -62,9 +66,7 @@ template <typename... Args>
 [[noreturn]] void
 panic(std::string_view fmt, const Args &...args)
 {
-    std::string msg = formatStr(fmt, args...);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    throw PanicError(msg);
+    throw PanicError(formatStr(fmt, args...));
 }
 
 /** Print a warning that does not stop execution. */

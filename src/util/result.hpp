@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal std::expected-style Result type.
+ *
+ * The toolchain this library targets (GCC 12) does not ship
+ * std::expected, so fallible entry points that must not throw or abort
+ * (stream decoding, remote ingestion) return Result<T, E> instead: a
+ * tagged union of a success value and a structured error. Construct
+ * errors with util::unexpected(), mirroring std::unexpected.
+ */
+
+#ifndef TBSTC_UTIL_RESULT_HPP
+#define TBSTC_UTIL_RESULT_HPP
+
+#include <utility>
+#include <variant>
+
+namespace tbstc::util {
+
+/** Error wrapper disambiguating Result's error constructor. */
+template <typename E>
+struct Unexpected
+{
+    E error;
+};
+
+/** Build an Unexpected from an error value (deduces E). */
+template <typename E>
+Unexpected<std::decay_t<E>>
+unexpected(E &&error)
+{
+    return {std::forward<E>(error)};
+}
+
+/**
+ * Holds either a success value of type T or an error of type E.
+ *
+ * Accessors mirror std::expected: operator bool / ok() test for
+ * success, value()/operator* / operator-> access the success value,
+ * error() the error. Accessing the wrong alternative is a programming
+ * error (std::variant terminates via std::get's exception).
+ */
+template <typename T, typename E>
+class Result
+{
+  public:
+    Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+    Result(Unexpected<E> e)
+        : v_(std::in_place_index<1>, std::move(e.error))
+    {
+    }
+
+    bool ok() const { return v_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    T &value() & { return std::get<0>(v_); }
+    const T &value() const & { return std::get<0>(v_); }
+    T &&value() && { return std::get<0>(std::move(v_)); }
+
+    E &error() & { return std::get<1>(v_); }
+    const E &error() const & { return std::get<1>(v_); }
+    E &&error() && { return std::get<1>(std::move(v_)); }
+
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** Success value, or @p fallback when holding an error. */
+    template <typename U>
+    T
+    valueOr(U &&fallback) const &
+    {
+        return ok() ? value() : static_cast<T>(std::forward<U>(fallback));
+    }
+
+  private:
+    std::variant<T, E> v_;
+};
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_RESULT_HPP

@@ -121,6 +121,34 @@ TEST(Codec, RejectsOutOfRangeRid)
                  tbstc::util::PanicError);
 }
 
+TEST(Codec, TryDecodeBlockReportsStructuredErrors)
+{
+    // Out-of-range Rid: a DecodeError naming the element, no throw.
+    const std::vector<StorageElem> bad_rid{{1.0f, 0, 0}, {2.0f, 9, 1}};
+    const auto r = tryDecodeBlock(bad_rid, CodecConfig{8, 2, 2});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind, DecodeErrorKind::InfoFieldRange);
+    EXPECT_EQ(r.error().offset, 1u); // Element index of the culprit.
+
+    // Invalid geometry.
+    const auto cfg = tryDecodeBlock({}, CodecConfig{0, 2, 2});
+    ASSERT_FALSE(cfg.ok());
+    EXPECT_EQ(cfg.error().kind, DecodeErrorKind::GeometryOverflow);
+}
+
+TEST(Codec, TryDecodeBlockMatchesThrowingVariant)
+{
+    const auto storage = columnMajorBlock({{0, 2}, {1, 2}, {0, 3}, {1, 3}});
+    const CodecConfig cfg{4, 2, 2};
+    const auto tried = tryDecodeBlock(storage, cfg);
+    ASSERT_TRUE(tried.ok());
+    const CodecOutput direct = convertToComputation(storage, cfg);
+    EXPECT_EQ(tried->values, direct.values);
+    EXPECT_EQ(tried->rids, direct.rids);
+    EXPECT_EQ(tried->iids, direct.iids);
+    EXPECT_EQ(tried->cycles, direct.cycles);
+}
+
 TEST(Codec, PassthroughCycles)
 {
     const CodecConfig cfg{8, 2, 2};

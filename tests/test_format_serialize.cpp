@@ -111,9 +111,11 @@ TEST(SerializeDdc, InfoTableBitLayout)
                       core::defaultCandidates(8)); // Fully dense: 8:8.
     const auto bytes = format::serializeDdc(w, res.mask, res.meta);
 
-    // Header: magic(4) rows(4) cols(4) m(4) group(4) ladder_size(1)
-    // ladder(1: only N=8) -> group bases (1 group x 4) -> info.
-    const size_t info_at = 4 + 4 + 4 + 4 + 4 + 1 + 1 + 4;
+    // Locate the info table via the v2 section map (header and group
+    // bases carry CRC32 fields, so offsets are layout-derived).
+    const auto layout = format::ddcLayout(bytes);
+    ASSERT_TRUE(layout.ok());
+    const size_t info_at = layout->infoAt;
     const uint16_t e0 = static_cast<uint16_t>(
         bytes[info_at] | (bytes[info_at + 1] << 8));
     const uint16_t e1 = static_cast<uint16_t>(
@@ -151,22 +153,30 @@ TEST(DeserializeDdc, RejectsCorruption)
     std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + 16);
     EXPECT_THROW(format::deserializeDdc(truncated), util::FatalError);
 
-    // Corrupt an info-table offset: the offset chain check trips.
+    // Corrupt an info-table offset: the section CRC catches the raw
+    // flip; with the CRC fixed up, the offset chain check trips.
+    const auto layout = format::ddcLayout(bytes);
+    ASSERT_TRUE(layout.ok());
     auto bad_info = bytes;
-    // Locate the first info entry: header + ladder + group bases.
-    const auto parsed = format::deserializeDdc(bytes);
-    const size_t ladder = [&] {
-        std::vector<uint8_t> ns;
-        for (const auto &b : parsed.meta.blocks)
-            ns.push_back(b.n);
-        std::sort(ns.begin(), ns.end());
-        ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
-        return ns.size();
-    }();
-    const size_t groups = (parsed.meta.blocks.size() + 62) / 63;
-    const size_t first_info = 20 + 1 + ladder + groups * 4;
-    bad_info[first_info + 2] ^= 0x01; // Second entry's offset bit 0.
+    bad_info[layout->infoAt + 2] ^= 0x01; // Second entry's offset bit 0.
     EXPECT_THROW(format::deserializeDdc(bad_info), util::FatalError);
+    ASSERT_TRUE(format::ddcFixupCrcs(bad_info));
+    EXPECT_THROW(format::deserializeDdc(bad_info), util::FatalError);
+}
+
+TEST(DeserializeDdc, TryVariantNeverThrows)
+{
+    Fixture f(8);
+    const auto bytes = format::serializeDdc(f.w, f.tbs.mask, f.tbs.meta);
+    const auto good = format::tryDeserializeDdc(bytes);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good->mask, f.tbs.mask);
+
+    auto bad = bytes;
+    bad[1] ^= 0x40;
+    const auto err = format::tryDeserializeDdc(bad);
+    ASSERT_FALSE(err.ok());
+    EXPECT_EQ(err.error().kind, format::DecodeErrorKind::BadMagic);
 }
 
 TEST(SerializeDdc, NegativeZeroSurvives)

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the ingestion-integrity utilities: Result, CRC32, checked
+ * arithmetic, and the seeded fault-injection engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/checked.hpp"
+#include "util/crc32.hpp"
+#include "util/faultinject.hpp"
+#include "util/result.hpp"
+
+namespace {
+
+using namespace tbstc;
+using util::FaultInjector;
+using util::Result;
+using util::unexpected;
+
+TEST(Result, HoldsValueOrError)
+{
+    Result<int, std::string> ok = 41;
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(*ok, 41);
+    *ok += 1;
+    EXPECT_EQ(ok.value(), 42);
+    EXPECT_EQ(ok.valueOr(-1), 42);
+
+    Result<int, std::string> bad = unexpected(std::string("nope"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error(), "nope");
+    EXPECT_EQ(bad.valueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue)
+{
+    Result<std::string, int> r = std::string("payload");
+    const std::string s = std::move(r).value();
+    EXPECT_EQ(s, "payload");
+}
+
+TEST(Crc32, KnownAnswer)
+{
+    // The standard CRC-32 check value ("123456789" -> 0xcbf43926).
+    const std::string check = "123456789";
+    EXPECT_EQ(util::crc32({reinterpret_cast<const uint8_t *>(
+                               check.data()),
+                           check.size()}),
+              0xcbf43926u);
+    EXPECT_EQ(util::crc32({}), 0u);
+}
+
+TEST(Crc32, SeedChainsIncrementally)
+{
+    const std::vector<uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+    const auto whole = util::crc32(data);
+    const auto head = util::crc32(std::span(data).first(3));
+    const auto chained = util::crc32(std::span(data).subspan(3), head);
+    EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32, SensitiveToEveryBit)
+{
+    std::vector<uint8_t> data(64, 0xa5);
+    const auto base = util::crc32(data);
+    for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+        data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        EXPECT_NE(util::crc32(data), base) << "bit " << bit;
+        data[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+}
+
+TEST(Checked, DetectsOverflow)
+{
+    uint64_t out = 0;
+    EXPECT_TRUE(util::checkedAdd(1, 2, out));
+    EXPECT_EQ(out, 3u);
+    EXPECT_TRUE(util::checkedMul(1u << 31, 2, out));
+    EXPECT_EQ(out, uint64_t{1} << 32);
+
+    EXPECT_FALSE(util::checkedAdd(~uint64_t{0}, 1, out));
+    EXPECT_FALSE(util::checkedMul(uint64_t{1} << 33, uint64_t{1} << 31,
+                                  out));
+    EXPECT_TRUE(util::checkedMul(0, ~uint64_t{0}, out));
+    EXPECT_EQ(out, 0u);
+}
+
+TEST(FaultInject, DeterministicFromSeed)
+{
+    const std::vector<uint8_t> bytes(257, 0x5a);
+    FaultInjector a(99);
+    FaultInjector b(99);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(a.flipBits(bytes, 3), b.flipBits(bytes, 3));
+        EXPECT_EQ(a.truncateRandom(bytes), b.truncateRandom(bytes));
+        EXPECT_EQ(a.mutateRandomByte(bytes), b.mutateRandomByte(bytes));
+        EXPECT_EQ(a.extend(bytes, 5), b.extend(bytes, 5));
+    }
+    FaultInjector c(100); // Different seed, different stream.
+    bool differs = false;
+    for (int i = 0; i < 16 && !differs; ++i)
+        differs = a.flipBits(bytes, 3) != c.flipBits(bytes, 3);
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInject, FlipBitsTouchesOnlyRequestedBits)
+{
+    const std::vector<uint8_t> bytes(64, 0);
+    FaultInjector fi(7);
+    const auto out = fi.flipBits(bytes, 1);
+    ASSERT_EQ(out.size(), bytes.size());
+    size_t set = 0;
+    for (uint8_t b : out)
+        set += static_cast<size_t>(__builtin_popcount(b));
+    EXPECT_EQ(set, 1u);
+    EXPECT_EQ(fi.log().size(), 1u);
+}
+
+TEST(FaultInject, TruncateAndExtend)
+{
+    const std::vector<uint8_t> bytes{1, 2, 3, 4, 5};
+    FaultInjector fi(3);
+    EXPECT_EQ(fi.truncate(bytes, 2), (std::vector<uint8_t>{1, 2}));
+    EXPECT_TRUE(fi.truncate(bytes, 0).empty());
+    const auto longer = fi.extend(bytes, 4);
+    ASSERT_EQ(longer.size(), 9u);
+    EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), longer.begin()));
+}
+
+TEST(FaultInject, SwapRanges)
+{
+    const std::vector<uint8_t> bytes{0, 1, 2, 3, 4, 5, 6, 7};
+    FaultInjector fi(4);
+    const auto swapped = fi.swapRanges(bytes, 0, 6, 2);
+    EXPECT_EQ(swapped, (std::vector<uint8_t>{6, 7, 2, 3, 4, 5, 0, 1}));
+}
+
+} // namespace

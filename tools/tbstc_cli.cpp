@@ -6,18 +6,21 @@
  *   run      simulate one model or one layer on one accelerator
  *   compare  simulate a workload on every accelerator
  *   formats  storage-format study (bytes, redundancy, bandwidth)
+ *   fsck     validate a serialized DDC stream, report decode errors
  *   area     area/power breakdown of an accelerator
  *
  * Examples:
  *   tbstc run --accel tbstc --model bert --sparsity 0.75 --seq 128
  *   tbstc run --accel tbstc --layer 3072x768x128 --sparsity 0.5 --csv
  *   tbstc compare --model opt --sparsity 0.5 --seq 256
- *   tbstc formats --layer 512x512x1 --sparsity 0.75
+ *   tbstc formats --layer 512x512x1 --sparsity 0.75 --dump w.ddc
+ *   tbstc fsck w.ddc
  *   tbstc area --accel tbstc
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -27,6 +30,7 @@
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
 #include "format/encoding.hpp"
+#include "format/serialize.hpp"
 #include "sim/dram.hpp"
 #include "sim/energy.hpp"
 #include "util/parallel.hpp"
@@ -287,6 +291,57 @@ cmdFormats(const Args &args)
                 static_cast<unsigned long long>(w.cols()),
                 sparsity * 100.0);
     t.print();
+
+    if (args.has("dump")) {
+        const std::string path = args.require("dump");
+        const auto bytes = format::serializeDdc(w, tbs.mask, tbs.meta);
+        std::ofstream out(path, std::ios::binary);
+        if (!out
+            || !out.write(reinterpret_cast<const char *>(bytes.data()),
+                          static_cast<std::streamsize>(bytes.size()))) {
+            std::fprintf(stderr, "tbstc: cannot write '%s'\n",
+                         path.c_str());
+            return 1;
+        }
+        std::printf("wrote %zu-byte DDC stream to %s\n", bytes.size(),
+                    path.c_str());
+    }
+    return 0;
+}
+
+/**
+ * fsck: validate a DDC stream dumped to disk, reporting the decode
+ * taxonomy entry and byte offset on failure. Exit 0 only for a stream
+ * the hardened decoder fully accepts.
+ */
+int
+cmdFsck(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "tbstc fsck: cannot read '%s'\n",
+                     path.c_str());
+        return 2;
+    }
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    const auto parsed = format::tryDeserializeDdc(bytes);
+    if (!parsed) {
+        const auto &e = parsed.error();
+        std::fprintf(stderr,
+                     "tbstc fsck: %s: %s at byte %zu: %s\n",
+                     path.c_str(), format::decodeErrorName(e.kind),
+                     e.offset, e.message.c_str());
+        return 1;
+    }
+    std::printf("%s: ok — %zux%zu matrix, m=%zu, %zu blocks, "
+                "%zu kept values, %zu bytes\n",
+                path.c_str(), parsed->matrix.rows(),
+                parsed->matrix.cols(), parsed->meta.m,
+                parsed->meta.blocks.size(), parsed->mask.nnz(),
+                bytes.size());
     return 0;
 }
 
@@ -317,6 +372,10 @@ cmdHelp()
         "  run      --accel K (--model M | --layer XxYxNB) [options]\n"
         "  compare  (--model M | --layer XxYxNB) [options]\n"
         "  formats  [--layer XxYxNB] [--sparsity S] [--seed N]\n"
+        "           [--dump FILE]  (write the DDC byte stream)\n"
+        "  fsck     FILE  (validate a dumped DDC stream; prints the\n"
+        "           decode-error class and byte offset, exits non-zero\n"
+        "           on corruption)\n"
         "  area     --accel K\n"
         "  help\n"
         "\n"
@@ -346,6 +405,12 @@ main(int argc, char **argv)
         return cmdHelp();
     const std::string cmd = argv[1];
     try {
+        if (cmd == "fsck") {
+            // Positional FILE argument, not --key value.
+            if (argc != 3)
+                Args::fail("fsck expects exactly one FILE argument");
+            return cmdFsck(argv[2]);
+        }
         const Args args(argc, argv);
         if (args.has("threads"))
             util::setThreads(args.getU64("threads", 0));
