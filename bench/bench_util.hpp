@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -39,6 +40,13 @@ class BenchReport
         for (int i = 1; i + 1 < argc; ++i)
             if (std::string(argv[i]) == "--json")
                 path_ = argv[i + 1];
+        // JSON reports carry the deterministic metrics of the run, so
+        // perf trajectories can attribute a wall-time shift to cycle,
+        // byte, or scheduling changes.
+        if (!path_.empty()) {
+            obs::setMetricsEnabled(true);
+            obs::resetMetrics();
+        }
     }
 
     /** Record one named table (no-op unless --json was given). */
@@ -66,11 +74,15 @@ class BenchReport
             util::warn("cannot write --json file '{}'", path_);
             return;
         }
+        std::string metrics = obs::metricsJson();
+        if (!metrics.empty() && metrics.back() == '\n')
+            metrics.pop_back();
         std::fprintf(f,
                      "{\n  \"bench\": %s,\n  \"wall_seconds\": %.6f,\n"
-                     "  \"threads\": %zu,\n  \"tables\": [\n",
+                     "  \"threads\": %zu,\n  \"metrics\": %s,\n"
+                     "  \"tables\": [\n",
                      quote(bench_).c_str(), wall,
-                     util::effectiveThreads());
+                     util::effectiveThreads(), metrics.c_str());
         for (size_t i = 0; i < tables_.size(); ++i)
             std::fprintf(f, "%s%s\n", tables_[i].c_str(),
                          i + 1 < tables_.size() ? "," : "");

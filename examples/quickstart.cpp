@@ -18,12 +18,9 @@
 
 #include <cstdio>
 
-#include "accel/accelerator.hpp"
-#include "core/blockstats.hpp"
-#include "core/prune.hpp"
-#include "core/sparsify.hpp"
-#include "format/encoding.hpp"
-#include "workload/synth.hpp"
+// The umbrella header is the library's public API surface; see its
+// header comment for the primary (Result-returning) vs legacy tiers.
+#include "tbstc.hpp"
 
 using namespace tbstc;
 

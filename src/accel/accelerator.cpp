@@ -3,6 +3,8 @@
 #include <map>
 #include <tuple>
 
+#include "obs/obs.hpp"
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 #include "workload/graph.hpp"
@@ -145,6 +147,9 @@ accelConfig(AccelKind kind)
 RunStats
 runLayer(AccelKind kind, const RunRequest &req)
 {
+    const obs::ScopedSpan span(util::formatStr(
+        "accel.runLayer {} {}x{}x{}", accelName(kind), req.shape.x,
+        req.shape.y, req.shape.nb));
     const Pattern pattern =
         req.patternOverride.value_or(accelPattern(kind));
 
@@ -177,6 +182,9 @@ RunStats
 runModel(AccelKind kind, workload::ModelId model, double sparsity,
          uint64_t seq, bool int8_weights, uint64_t seed)
 {
+    const obs::ScopedSpan span(util::formatStr(
+        "accel.runModel {} model={} seq={}", accelName(kind),
+        workload::modelName(model), seq));
     // Group identically shaped layers; simulate one representative and
     // scale. Statistically the synthetic weights of same-shape layers
     // are interchangeable, and this turns 32-layer LLMs into a handful
@@ -214,6 +222,9 @@ RunStats
 runInference(AccelKind kind, workload::ModelId model, double sparsity,
              uint64_t seq, bool int8_weights, uint64_t seed)
 {
+    const obs::ScopedSpan span(util::formatStr(
+        "accel.runInference {} model={} seq={}", accelName(kind),
+        workload::modelName(model), seq));
     RunStats total = runModel(kind, model, sparsity, seq, int8_weights,
                               seed);
     std::vector<workload::InferenceOp> acts;

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "obs/obs.hpp"
 #include "util/fmt.hpp"
 #include "util/logging.hpp"
 
@@ -48,8 +49,22 @@ tryDecodeBlock(const std::vector<StorageElem> &storage,
         --pending;
     };
 
+    // Queue-group occupancy telemetry, sampled once per timestep.
+    const bool sample = obs::metricsEnabled();
+    static const obs::Histogram occupancy = obs::histogram(
+        "format.codec.queue_occupancy", 0.0, 64.0, 16);
+    static const obs::Gauge occupancy_peak =
+        obs::gauge("format.codec.queue_peak");
+
     while (pending > 0) {
         ++out.cycles;
+        if (sample) {
+            // Elements sitting in the Rid queues right now.
+            const auto queued = static_cast<int64_t>(
+                cursor - (storage.size() - pending));
+            occupancy.observe(static_cast<double>(queued));
+            occupancy_peak.record(queued);
+        }
 
         // Ingest up to `lanes` elements into the Rid-indexed queues.
         for (size_t l = 0; l < cfg.lanes && cursor < storage.size(); ++l) {
@@ -85,6 +100,18 @@ tryDecodeBlock(const std::vector<StorageElem> &storage,
                 }
             }
         }
+    }
+
+    if (sample) {
+        static const obs::Counter blocks =
+            obs::counter("format.codec.blocks_converted");
+        static const obs::Counter elems =
+            obs::counter("format.codec.elements");
+        static const obs::Counter cycles =
+            obs::counter("format.codec.cycles");
+        blocks.add();
+        elems.add(storage.size());
+        cycles.add(out.cycles);
     }
     return out;
 }

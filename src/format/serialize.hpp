@@ -110,8 +110,12 @@ tryDeserializeDdc(std::span<const uint8_t> bytes);
 
 /**
  * Parse a DDC byte stream produced by serializeDdc().
- * @note fatal() (throws util::FatalError) on malformed input; wraps
- *     tryDeserializeDdc() for callers that treat bad input as fatal.
+ *
+ * Legacy: abort-wrapping convenience around tryDeserializeDdc(), which
+ * is the primary API (see src/tbstc.hpp). New code should call
+ * tryDeserializeDdc() and handle the DecodeError.
+ *
+ * @note fatal() (throws util::FatalError) on malformed input.
  */
 DdcParsed deserializeDdc(std::span<const uint8_t> bytes);
 

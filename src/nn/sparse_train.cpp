@@ -5,6 +5,8 @@
 
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
+#include "obs/obs.hpp"
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::nn {
@@ -58,6 +60,8 @@ sparseTrain(Mlp &model, const DataSplit &data, const TrainConfig &cfg,
     const size_t n = data.train.samples();
 
     for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        const obs::ScopedSpan span(
+            util::formatStr("nn.train.epoch{}", epoch));
         // Cubic sparsity ramp (Zhu & Gupta schedule).
         double s = cfg.sparsity;
         if (cfg.rampEpochs > 1 && epoch < cfg.rampEpochs) {
@@ -91,6 +95,21 @@ sparseTrain(Mlp &model, const DataSplit &data, const TrainConfig &cfg,
             model.accuracy(data.test.x, data.test.labels);
         stats.sparsity = realized;
         result.history.push_back(stats);
+
+        if (obs::metricsEnabled()) {
+            static const obs::Counter c_epochs =
+                obs::counter("nn.train.epochs");
+            static const obs::Counter c_batches =
+                obs::counter("nn.train.batches");
+            static const obs::Counter c_regens =
+                obs::counter("nn.train.mask_regens");
+            static const obs::Counter c_samples =
+                obs::counter("nn.train.samples");
+            c_epochs.add();
+            c_batches.add(batches);
+            c_regens.add();
+            c_samples.add(n);
+        }
     }
     result.finalAccuracy = result.history.back().testAccuracy;
     return result;

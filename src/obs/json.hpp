@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal JSON string escaping shared by the metric and trace
+ * exporters. Self-contained (obs sits below util in the layering).
+ */
+
+#ifndef TBSTC_OBS_JSON_HPP
+#define TBSTC_OBS_JSON_HPP
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tbstc::obs {
+
+/** Quote and escape @p s as a JSON string literal. */
+inline std::string
+jsonQuote(std::string_view s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace tbstc::obs
+
+#endif // TBSTC_OBS_JSON_HPP

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Deterministic metrics registry (counters, gauges, histograms).
+ *
+ * Every run of the simulator, codec, or trainer should be able to
+ * explain where its cycles, bytes, and stalls went without printf
+ * archaeology. This registry gives each subsystem named metrics that
+ * are cheap to record from any thread and export to a stable JSON
+ * document.
+ *
+ * Determinism contract (matches util/parallel's): recording goes into
+ * thread-local shards, and the merged value of every metric depends
+ * only on the *multiset* of recordings, never on which thread made
+ * them or in what order. That is achieved by restricting merged state
+ * to operations that are associative and commutative over integers:
+ *
+ *  - Counter    u64 add           (sum over shards)
+ *  - Gauge      i64 high-watermark (max over shards)
+ *  - Histogram  u64 bucket counts  (elementwise sum over shards)
+ *
+ * Export sorts metrics by name, so the JSON is bit-identical at any
+ * TBSTC_THREADS for the same workload. Metrics whose values genuinely
+ * depend on the host schedule (pool steal counts, queue depths) are
+ * registered under Domain::Host and excluded from the deterministic
+ * export unless explicitly requested.
+ *
+ * Cost model: everything is compiled out when TBSTC_OBS_ENABLED is 0
+ * (metricsEnabled() folds to constexpr false), and when compiled in
+ * but runtime-disabled, a recording call is one relaxed atomic load
+ * and a branch. Hot loops should still guard sample *construction*
+ * with `if (obs::metricsEnabled())`.
+ *
+ * Exporting and resetting are quiescent-point operations: call them
+ * only while no parallel region is recording (the pool's batch
+ * completion synchronizes worker writes with the submitting thread).
+ */
+
+#ifndef TBSTC_OBS_METRICS_HPP
+#define TBSTC_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#ifndef TBSTC_OBS_ENABLED
+#define TBSTC_OBS_ENABLED 1
+#endif
+
+namespace tbstc::obs {
+
+/** Whether a metric survives into the deterministic export. */
+enum class Domain : uint8_t
+{
+    Deterministic, ///< Thread-count-invariant; in the default export.
+    Host,          ///< Host-schedule-dependent diagnostics; opt-in.
+};
+
+#if TBSTC_OBS_ENABLED
+
+namespace detail {
+inline std::atomic<bool> g_metricsOn{false};
+} // namespace detail
+
+/** True when metric recording is active (relaxed load; hot-path safe). */
+inline bool
+metricsEnabled()
+{
+    return detail::g_metricsOn.load(std::memory_order_relaxed);
+}
+
+/** Turn metric recording on or off at runtime. */
+inline void
+setMetricsEnabled(bool on)
+{
+    detail::g_metricsOn.store(on, std::memory_order_relaxed);
+}
+
+#else // TBSTC_OBS_ENABLED == 0: the guard folds to a dead branch.
+
+constexpr bool metricsEnabled() { return false; }
+inline void setMetricsEnabled(bool) {}
+
+#endif
+
+/** Monotonic event counter. Handle is a value type; copy freely. */
+class Counter
+{
+  public:
+    /** Record @p delta occurrences. No-op while recording is off. */
+    void add(uint64_t delta = 1) const;
+
+    /**
+     * Record a nonnegative real quantity (cycles, bytes) rounded to
+     * the nearest integer unit. Each call rounds independently, so the
+     * merged total is still order-independent.
+     */
+    void
+    addRounded(double v) const
+    {
+        if (v > 0.0)
+            add(static_cast<uint64_t>(v + 0.5));
+    }
+
+  private:
+    friend Counter counter(std::string_view, Domain);
+    uint32_t slot_ = 0;
+};
+
+/** High-watermark gauge: merged value is the maximum ever recorded. */
+class Gauge
+{
+  public:
+    /** Raise the watermark to @p v if it is higher. */
+    void record(int64_t v) const;
+
+  private:
+    friend Gauge gauge(std::string_view, Domain);
+    uint32_t slot_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi). Out-of-range samples clamp to
+ * the edge buckets; NaN samples are ignored.
+ */
+class Histogram
+{
+  public:
+    /** Record one sample. No-op while recording is off. */
+    void observe(double x) const;
+
+  private:
+    friend Histogram histogram(std::string_view, double, double,
+                               uint32_t, Domain);
+    uint32_t firstBucket_ = 0;
+    uint32_t bins_ = 1;
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+};
+
+/**
+ * Register (or look up) a counter by name. Idempotent: the same name
+ * always yields a handle to the same metric. Intended use is a
+ * function-local static at the recording site:
+ * @code
+ *   static const obs::Counter c = obs::counter("sim.dram.streams");
+ *   c.add();
+ * @endcode
+ */
+Counter counter(std::string_view name,
+                Domain domain = Domain::Deterministic);
+
+/** Register (or look up) a high-watermark gauge by name. */
+Gauge gauge(std::string_view name, Domain domain = Domain::Deterministic);
+
+/**
+ * Register (or look up) a histogram by name. The bucket geometry of
+ * the first registration wins; @p bins is clamped to [1, 512].
+ */
+Histogram histogram(std::string_view name, double lo, double hi,
+                    uint32_t bins, Domain domain = Domain::Deterministic);
+
+/**
+ * Render all metrics as a JSON object with stable formatting and keys
+ * sorted by metric name:
+ * @code
+ * {
+ *   "schema": "tbstc.metrics.v1",
+ *   "counters": {"sim.dram.streams": 12, ...},
+ *   "gauges": {...},
+ *   "histograms": {"name": {"lo": 0, "hi": 64, "buckets": [...],
+ *                           "total": 99}, ...},
+ *   "host": { ...same shape, only when includeHost... }
+ * }
+ * @endcode
+ * Deterministic-domain values are bit-identical at any thread count;
+ * the optional "host" section is diagnostic and is not.
+ */
+std::string metricsJson(bool includeHost = false);
+
+/**
+ * Write metricsJson() to @p path.
+ * @return false when the file cannot be written.
+ */
+bool writeMetricsJson(const std::string &path, bool includeHost = false);
+
+/**
+ * Zero every metric value (registrations survive). Quiescent-point
+ * operation, like metricsJson().
+ */
+void resetMetrics();
+
+} // namespace tbstc::obs
+
+#endif // TBSTC_OBS_METRICS_HPP

@@ -1,0 +1,370 @@
+#include "trace.hpp"
+
+#include <cstdio>
+#include <string>
+
+#if TBSTC_OBS_ENABLED
+
+#include <chrono>
+#include <mutex>
+#include <vector>
+
+#include "json.hpp"
+
+namespace tbstc::obs {
+
+namespace {
+
+constexpr uint32_t kHostPid = 1;
+constexpr uint32_t kSimPid = 2;
+
+/** Hard cap on buffered events across all threads. */
+constexpr size_t kMaxEvents = 1u << 20;
+
+struct Event
+{
+    std::string name;
+    std::string argsJson; ///< Pre-rendered args object, or empty.
+    double ts = 0.0;
+    double dur = 0.0;
+    uint64_t tid = 0;
+    uint32_t pid = kHostPid;
+    char ph = 'X';
+};
+
+struct EventShard;
+
+struct TraceState
+{
+    std::mutex m;
+    std::vector<EventShard *> live;
+    std::vector<Event> retired;
+    std::atomic<size_t> count{0};
+    std::atomic<size_t> dropped{0};
+    std::atomic<uint64_t> nextTrack{1};
+    std::atomic<uint64_t> nextHostTid{1};
+};
+
+TraceState &
+state()
+{
+    static TraceState *s = new TraceState; // Leaked: outlives threads.
+    return *s;
+}
+
+struct EventShard
+{
+    std::vector<Event> events;
+    uint64_t hostTid;
+
+    EventShard()
+        : hostTid(state().nextHostTid.fetch_add(
+              1, std::memory_order_relaxed))
+    {
+        TraceState &s = state();
+        std::lock_guard lk(s.m);
+        s.live.push_back(this);
+    }
+
+    ~EventShard()
+    {
+        TraceState &s = state();
+        std::lock_guard lk(s.m);
+        s.retired.insert(s.retired.end(),
+                         std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+        std::erase(s.live, this);
+    }
+
+    EventShard(const EventShard &) = delete;
+    EventShard &operator=(const EventShard &) = delete;
+};
+
+EventShard &
+localShard()
+{
+    thread_local EventShard shard;
+    return shard;
+}
+
+/** Reserve capacity for one event; false when over the global cap. */
+bool
+admitEvent()
+{
+    TraceState &s = state();
+    if (s.count.fetch_add(1, std::memory_order_relaxed) >= kMaxEvents) {
+        s.count.fetch_sub(1, std::memory_order_relaxed);
+        s.dropped.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+void
+push(Event e)
+{
+    if (!admitEvent())
+        return;
+    localShard().events.push_back(std::move(e));
+}
+
+/** Microseconds since the process's trace epoch. */
+double
+nowUs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double, std::micro>(Clock::now()
+                                                     - epoch)
+        .count();
+}
+
+void
+appendEventJson(std::string &out, const Event &e)
+{
+    char num[64];
+    out += "  {\"name\": " + jsonQuote(e.name) + ", \"ph\": \"";
+    out += e.ph;
+    out += "\"";
+    std::snprintf(num, sizeof num, ", \"ts\": %.3f", e.ts);
+    out += num;
+    if (e.ph == 'X') {
+        std::snprintf(num, sizeof num, ", \"dur\": %.3f", e.dur);
+        out += num;
+    }
+    std::snprintf(num, sizeof num, ", \"pid\": %u, \"tid\": %llu",
+                  e.pid, static_cast<unsigned long long>(e.tid));
+    out += num;
+    if (e.ph == 'i')
+        out += ", \"s\": \"t\"";
+    if (!e.argsJson.empty())
+        out += ", \"args\": " + e.argsJson;
+    out += "}";
+}
+
+Event
+metadataEvent(uint32_t pid, uint64_t tid, std::string_view kind,
+              std::string_view label)
+{
+    Event e;
+    e.name = std::string(kind);
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.argsJson = "{\"name\": " + jsonQuote(label) + "}";
+    return e;
+}
+
+/** Emit the fixed process-name metadata once per process. */
+void
+ensureProcessMetadata()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        push(metadataEvent(kHostPid, 0, "process_name", "host"));
+        push(metadataEvent(kSimPid, 0, "process_name",
+                           "sim (ts = cycles)"));
+    });
+}
+
+} // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name)
+{
+    if (!tracingEnabled())
+        return;
+    ensureProcessMetadata();
+    name_ = std::string(name);
+    startUs_ = nowUs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (startUs_ < 0.0)
+        return;
+    Event e;
+    e.name = std::move(name_);
+    e.ts = startUs_;
+    e.dur = nowUs() - startUs_;
+    e.pid = kHostPid;
+    e.tid = localShard().hostTid;
+    push(std::move(e));
+}
+
+void
+hostInstant(std::string_view name)
+{
+    if (!tracingEnabled())
+        return;
+    ensureProcessMetadata();
+    Event e;
+    e.name = std::string(name);
+    e.ph = 'i';
+    e.ts = nowUs();
+    e.pid = kHostPid;
+    e.tid = localShard().hostTid;
+    push(std::move(e));
+}
+
+uint64_t
+simTrack(std::string_view label)
+{
+    if (!tracingEnabled())
+        return 0;
+    ensureProcessMetadata();
+    const uint64_t track =
+        state().nextTrack.fetch_add(1, std::memory_order_relaxed);
+    push(metadataEvent(kSimPid, track * kSimLanes, "thread_name",
+                       label));
+    return track;
+}
+
+void
+simLaneName(uint64_t track, uint64_t lane, std::string_view name)
+{
+    if (!tracingEnabled() || track == 0)
+        return;
+    push(metadataEvent(kSimPid, track * kSimLanes + lane, "thread_name",
+                       name));
+}
+
+void
+simSpan(uint64_t track, uint64_t lane, std::string_view name,
+        double startCycles, double durCycles)
+{
+    if (!tracingEnabled() || track == 0)
+        return;
+    if (durCycles <= 0.0) {
+        simInstant(track, lane, name, startCycles);
+        return;
+    }
+    Event e;
+    e.name = std::string(name);
+    e.ts = startCycles;
+    e.dur = durCycles;
+    e.pid = kSimPid;
+    e.tid = track * kSimLanes + lane;
+    push(std::move(e));
+}
+
+void
+simInstant(uint64_t track, uint64_t lane, std::string_view name,
+           double atCycles)
+{
+    if (!tracingEnabled() || track == 0)
+        return;
+    Event e;
+    e.name = std::string(name);
+    e.ph = 'i';
+    e.ts = atCycles;
+    e.pid = kSimPid;
+    e.tid = track * kSimLanes + lane;
+    push(std::move(e));
+}
+
+void
+simCounter(uint64_t track, std::string_view name, double atCycles,
+           double value)
+{
+    if (!tracingEnabled() || track == 0)
+        return;
+    Event e;
+    e.name = std::string(name);
+    e.ph = 'C';
+    e.ts = atCycles;
+    e.pid = kSimPid;
+    e.tid = track * kSimLanes;
+    char num[64];
+    std::snprintf(num, sizeof num, "%.3f", value);
+    e.argsJson = "{\"value\": " + std::string(num) + "}";
+    push(std::move(e));
+}
+
+std::string
+chromeTraceJson()
+{
+    TraceState &s = state();
+    std::vector<const Event *> all;
+    std::lock_guard lk(s.m);
+    all.reserve(s.count.load(std::memory_order_relaxed));
+    for (const Event &e : s.retired)
+        all.push_back(&e);
+    for (const EventShard *sh : s.live)
+        for (const Event &e : sh->events)
+            all.push_back(&e);
+
+    std::string out = "{\n\"traceEvents\": [\n";
+    for (size_t i = 0; i < all.size(); ++i) {
+        appendEventJson(out, *all[i]);
+        out += i + 1 < all.size() ? ",\n" : "\n";
+    }
+    out += "],\n\"otherData\": {\"schema\": \"tbstc.trace.v1\", "
+           "\"dropped\": "
+        + std::to_string(s.dropped.load(std::memory_order_relaxed))
+        + "}\n}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string json = chromeTraceJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+void
+resetTrace()
+{
+    TraceState &s = state();
+    std::lock_guard lk(s.m);
+    for (EventShard *sh : s.live)
+        sh->events.clear();
+    s.retired.clear();
+    s.count.store(0, std::memory_order_relaxed);
+    s.dropped.store(0, std::memory_order_relaxed);
+}
+
+} // namespace tbstc::obs
+
+#else // TBSTC_OBS_ENABLED == 0
+
+namespace tbstc::obs {
+
+ScopedSpan::ScopedSpan(std::string_view) {}
+ScopedSpan::~ScopedSpan() = default;
+void hostInstant(std::string_view) {}
+uint64_t simTrack(std::string_view) { return 0; }
+void simLaneName(uint64_t, uint64_t, std::string_view) {}
+void simSpan(uint64_t, uint64_t, std::string_view, double, double) {}
+void simInstant(uint64_t, uint64_t, std::string_view, double) {}
+void simCounter(uint64_t, std::string_view, double, double) {}
+
+std::string
+chromeTraceJson()
+{
+    return "{\n\"traceEvents\": [\n],\n\"otherData\": "
+           "{\"schema\": \"tbstc.trace.v1\", \"dropped\": 0}\n}\n";
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string json = chromeTraceJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+void resetTrace() {}
+
+} // namespace tbstc::obs
+
+#endif // TBSTC_OBS_ENABLED

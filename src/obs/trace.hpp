@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Span/event tracer exporting Chrome `chrome://tracing` JSON.
+ *
+ * Two clock domains share one trace, separated by pid:
+ *
+ *  - pid 1 "host": wall-clock spans (ScopedSpan) in microseconds since
+ *    the first trace event; tid is a small per-thread id. Use these to
+ *    see where a run's real time went (profile building, layer sims,
+ *    training epochs).
+ *  - pid 2 "sim": simulated-time events in *cycles* (rendered as µs by
+ *    the viewer — read the axis as cycles). Each simulator run
+ *    allocates a track (simTrack) and emits per-stage spans on lanes
+ *    of that track, e.g. the event-driven pipeline's fetch / codec /
+ *    compute occupancy per tile, DVPE issue/drain, or DRAM row
+ *    activity.
+ *
+ * Events buffer in thread-local vectors (no recording lock) and merge
+ * at export. The trace is a diagnostic artifact: unlike the metrics
+ * JSON it is not required to be bit-identical across thread counts
+ * (host timestamps never are), but sim-domain events carry
+ * deterministic timestamps and durations.
+ *
+ * Recording is off by default; setTracingEnabled(true) turns it on.
+ * With TBSTC_OBS_ENABLED=0 the guard folds to constexpr false and
+ * every call site compiles out. A global cap (~1M events) bounds
+ * memory; events beyond it are dropped and counted in the export's
+ * "otherData.dropped".
+ */
+
+#ifndef TBSTC_OBS_TRACE_HPP
+#define TBSTC_OBS_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#ifndef TBSTC_OBS_ENABLED
+#define TBSTC_OBS_ENABLED 1
+#endif
+
+namespace tbstc::obs {
+
+#if TBSTC_OBS_ENABLED
+
+namespace detail {
+inline std::atomic<bool> g_traceOn{false};
+} // namespace detail
+
+/** True when event recording is active (relaxed load). */
+inline bool
+tracingEnabled()
+{
+    return detail::g_traceOn.load(std::memory_order_relaxed);
+}
+
+/** Turn event recording on or off at runtime. */
+inline void
+setTracingEnabled(bool on)
+{
+    detail::g_traceOn.store(on, std::memory_order_relaxed);
+}
+
+#else
+
+constexpr bool tracingEnabled() { return false; }
+inline void setTracingEnabled(bool) {}
+
+#endif
+
+/**
+ * RAII host-time span: records a complete ('X') event covering the
+ * scope's lifetime on the calling thread's host track.
+ */
+class ScopedSpan
+{
+  public:
+    /** @param name Span label (copied only if tracing is on). */
+    explicit ScopedSpan(std::string_view name);
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    std::string name_;
+    double startUs_ = -1.0; ///< < 0: tracing was off at construction.
+};
+
+/** Record an instant ('i') event on the calling thread's host track. */
+void hostInstant(std::string_view name);
+
+/**
+ * Allocate a sim-time track and label it @p label in the viewer.
+ * Tracks are cheap (an atomic increment plus one metadata event);
+ * allocate one per simulator run so concurrent layer simulations do
+ * not interleave on one timeline. Returns 0 when tracing is off.
+ */
+uint64_t simTrack(std::string_view label);
+
+/** Number of lanes reserved per track (lane must be < this). */
+constexpr uint64_t kSimLanes = 8;
+
+/** Label lane @p lane of @p track (e.g. "fetch", "codec", "DVPE"). */
+void simLaneName(uint64_t track, uint64_t lane, std::string_view name);
+
+/**
+ * Record a sim-time span on (track, lane): starts at @p startCycles,
+ * lasts @p durCycles. Zero-duration spans are recorded as instants.
+ */
+void simSpan(uint64_t track, uint64_t lane, std::string_view name,
+             double startCycles, double durCycles);
+
+/** Record a sim-time instant event on (track, lane). */
+void simInstant(uint64_t track, uint64_t lane, std::string_view name,
+                double atCycles);
+
+/**
+ * Record a sim-time counter ('C') sample — Chrome renders these as a
+ * stacked area chart per (track, name), e.g. codec queue occupancy
+ * over cycles.
+ */
+void simCounter(uint64_t track, std::string_view name, double atCycles,
+                double value);
+
+/**
+ * Render the Chrome trace JSON document:
+ * {"traceEvents": [...], "otherData": {...}}. Every event carries the
+ * required schema fields (name, ph, ts, pid, tid). Quiescent-point
+ * operation (see metrics.hpp).
+ */
+std::string chromeTraceJson();
+
+/**
+ * Write chromeTraceJson() to @p path.
+ * @return false when the file cannot be written.
+ */
+bool writeChromeTrace(const std::string &path);
+
+/** Discard all buffered events. Quiescent-point operation. */
+void resetTrace();
+
+} // namespace tbstc::obs
+
+#endif // TBSTC_OBS_TRACE_HPP

@@ -7,7 +7,9 @@
 
 #include "dram.hpp"
 #include "dvpe.hpp"
+#include "obs/obs.hpp"
 #include "scheduler.hpp"
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::sim {
@@ -110,6 +112,18 @@ simulateLayerEventDriven(const LayerProfile &layer, const ArchConfig &cfg,
     double compute_free = 0.0;
     double fetch_busy_total = 0.0;
 
+    // Trace each resource on its own lane of one sim-time track: the
+    // per-tile occupancy windows are exactly the event timeline below.
+    uint64_t track = 0;
+    if (obs::tracingEnabled()) {
+        track = obs::simTrack(util::formatStr(
+            "cyclesim {}x{}x{} tiles={}", layer.x, layer.y, layer.nb,
+            tiles));
+        obs::simLaneName(track, 1, "bus.fetch");
+        obs::simLaneName(track, 2, "codec");
+        obs::simLaneName(track, 3, "DVPE");
+    }
+
     for (size_t t = 0; t < tiles; ++t) {
         const double buffer_ready =
             t >= 2 ? compute_done[t - 2] : 0.0;
@@ -129,6 +143,20 @@ simulateLayerEventDriven(const LayerProfile &layer, const ArchConfig &cfg,
         compute_done[t] = compute_start + work[t].computeCycles;
         compute_free = compute_done[t];
         res.computeBusy += work[t].computeCycles;
+
+        if (track != 0) {
+            const std::string label = util::formatStr("tile{}", t);
+            obs::simSpan(track, 1, label + ".fetch", fetch_start,
+                         work[t].fetchCycles);
+            obs::simSpan(track, 2, label + ".codec", codec_start,
+                         work[t].codecCycles);
+            obs::simSpan(track, 3, label + ".compute", compute_start,
+                         work[t].computeCycles);
+            // DVPE issue/drain markers for the tile.
+            obs::simInstant(track, 3, label + ".issue", compute_start);
+            obs::simInstant(track, 3, label + ".drain",
+                            compute_done[t]);
+        }
     }
 
     // Writeback shares the bus at lower priority: the run cannot end
@@ -140,6 +168,26 @@ simulateLayerEventDriven(const LayerProfile &layer, const ArchConfig &cfg,
     res.busBusy = fetch_busy_total + d_cycles_total;
     res.cycles = std::max({compute_done[tiles - 1] + wb_per_tile,
                            fetch_done[tiles - 1], res.busBusy});
+
+    if (obs::metricsEnabled()) {
+        static const obs::Counter runs = obs::counter("sim.cyclesim.runs");
+        static const obs::Counter c_tiles =
+            obs::counter("sim.cyclesim.tiles");
+        static const obs::Counter c_cycles =
+            obs::counter("sim.cyclesim.total_cycles");
+        static const obs::Counter c_bus =
+            obs::counter("sim.cyclesim.bus_busy_cycles");
+        static const obs::Counter c_codec =
+            obs::counter("sim.cyclesim.codec_busy_cycles");
+        static const obs::Counter c_compute =
+            obs::counter("sim.cyclesim.compute_busy_cycles");
+        runs.add();
+        c_tiles.add(tiles);
+        c_cycles.addRounded(res.cycles);
+        c_bus.addRounded(res.busBusy);
+        c_codec.addRounded(res.codecBusy);
+        c_compute.addRounded(res.computeBusy);
+    }
     return res;
 }
 

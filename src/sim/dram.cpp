@@ -1,5 +1,6 @@
 #include "dram.hpp"
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::sim {
@@ -38,6 +39,24 @@ DramModel::fromSegments(uint64_t payload, uint64_t useful,
         static_cast<uint64_t>(run_bytes * static_cast<double>(segments));
     t.cycles =
         static_cast<double>(t.busBytes) / cfg_.dramBytesPerCycle();
+
+    if (obs::metricsEnabled()) {
+        static const obs::Counter streams =
+            obs::counter("sim.dram.streams");
+        static const obs::Counter c_bus =
+            obs::counter("sim.dram.bus_bytes");
+        static const obs::Counter c_useful =
+            obs::counter("sim.dram.useful_bytes");
+        static const obs::Counter c_segments =
+            obs::counter("sim.dram.segments");
+        static const obs::Counter c_cycles =
+            obs::counter("sim.dram.transfer_cycles");
+        streams.add();
+        c_bus.add(t.busBytes);
+        c_useful.add(t.usefulBytes);
+        c_segments.add(segments);
+        c_cycles.addRounded(t.cycles);
+    }
     return t;
 }
 

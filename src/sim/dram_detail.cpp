@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -34,6 +36,15 @@ DramSim::serveTrace(std::span<const DramRequest> reqs) const
         / cfg_.dramBytesPerCycle();
     double bus_free = 0.0;
 
+    // Row-behaviour trace: one lane for the data bus, one for misses.
+    uint64_t track = 0;
+    if (obs::tracingEnabled()) {
+        track = obs::simTrack(
+            util::formatStr("dramsim reqs={}", reqs.size()));
+        obs::simLaneName(track, 1, "bus");
+        obs::simLaneName(track, 2, "row.miss");
+    }
+
     for (const auto &[addr, len] : reqs) {
         if (len == 0)
             continue;
@@ -49,11 +60,13 @@ DramSim::serveTrace(std::span<const DramRequest> reqs) const
                 static_cast<int64_t>(row_global / timings_.banks);
 
             double ready = bank_ready[bank];
+            bool hit = true;
             if (open_row[bank] == row) {
                 // Row hit: column commands pipeline, so the burst
                 // streams as soon as the bus frees.
                 ++res.rowHits;
             } else {
+                hit = false;
                 ++res.rowMisses;
                 res.energyJ += timings_.actPj * 1e-12;
                 // Precharge (if a row was open), activate, then the
@@ -68,9 +81,36 @@ DramSim::serveTrace(std::span<const DramRequest> reqs) const
             bank_ready[bank] = start;
             res.energyJ += timings_.burstPj * 1e-12;
             ++res.bursts;
+            if (track != 0) {
+                obs::simSpan(track, 1, hit ? "burst.hit" : "burst.miss",
+                             start, burst_cycles);
+                if (!hit)
+                    obs::simInstant(
+                        track, 2,
+                        util::formatStr("activate.bank{}", bank),
+                        ready);
+            }
         }
     }
     res.cycles = bus_free;
+
+    if (obs::metricsEnabled()) {
+        static const obs::Counter traces =
+            obs::counter("sim.dramsim.traces");
+        static const obs::Counter c_req =
+            obs::counter("sim.dramsim.requests");
+        static const obs::Counter c_bursts =
+            obs::counter("sim.dramsim.bursts");
+        static const obs::Counter c_hits =
+            obs::counter("sim.dramsim.row_hits");
+        static const obs::Counter c_misses =
+            obs::counter("sim.dramsim.row_misses");
+        traces.add();
+        c_req.add(res.requests);
+        c_bursts.add(res.bursts);
+        c_hits.add(res.rowHits);
+        c_misses.add(res.rowMisses);
+    }
     return res;
 }
 

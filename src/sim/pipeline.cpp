@@ -6,7 +6,9 @@
 
 #include "dram.hpp"
 #include "dvpe.hpp"
+#include "obs/obs.hpp"
 #include "scheduler.hpp"
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::sim {
@@ -190,6 +192,48 @@ simulateLayer(const LayerProfile &layer, const ArchConfig &cfg,
         * static_cast<double>(cfg.totalLanes());
     out.computeUtilisation = lane_cycles > 0.0 ? macs / lane_cycles : 0.0;
     out.schedUtilisation = sched.utilisation;
+
+    if (obs::metricsEnabled()) {
+        static const obs::Counter layers =
+            obs::counter("sim.pipeline.layers");
+        static const obs::Counter c_compute =
+            obs::counter("sim.pipeline.compute_cycles");
+        static const obs::Counter c_memory =
+            obs::counter("sim.pipeline.memory_cycles");
+        static const obs::Counter c_codec =
+            obs::counter("sim.pipeline.codec_cycles");
+        static const obs::Counter c_exposed =
+            obs::counter("sim.pipeline.codec_exposed_cycles");
+        static const obs::Counter c_total =
+            obs::counter("sim.pipeline.total_cycles");
+        static const obs::Counter c_macs =
+            obs::counter("sim.pipeline.useful_macs");
+        layers.add();
+        c_compute.addRounded(compute_cycles);
+        c_memory.addRounded(mem_cycles);
+        c_codec.addRounded(codec_cycles);
+        c_exposed.addRounded(exposed);
+        c_total.addRounded(out.cycles);
+        c_macs.addRounded(macs);
+    }
+    if (obs::tracingEnabled()) {
+        // Analytic stage windows: compute/memory start together after
+        // the fill; exposed conversion trails the bottleneck.
+        const uint64_t track = obs::simTrack(util::formatStr(
+            "pipeline {}x{}x{} blocks={}", layer.x, layer.y, layer.nb,
+            layer.blocks.size()));
+        obs::simLaneName(track, 1, "compute");
+        obs::simLaneName(track, 2, "memory");
+        obs::simLaneName(track, 3, "codec");
+        obs::simSpan(track, 0, "startup", 0.0, kStartupCycles);
+        obs::simSpan(track, 1, "compute", kStartupCycles,
+                     compute_cycles);
+        obs::simSpan(track, 2, "memory", kStartupCycles, mem_cycles);
+        obs::simSpan(track, 3, "codec.hidden", kStartupCycles,
+                     codec_cycles - exposed);
+        obs::simSpan(track, 3, "codec.exposed",
+                     kStartupCycles + bottleneck, exposed);
+    }
     return out;
 }
 

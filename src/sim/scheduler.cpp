@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::sim {
@@ -84,6 +85,33 @@ scheduleBlocks(std::span<const uint64_t> costs, size_t pes,
     const double denom = static_cast<double>(res.makespan)
         * static_cast<double>(pes);
     res.utilisation = denom > 0.0 ? res.busyBeats / denom : 1.0;
+
+    // Packing-quality telemetry: how well the scheduling unit merged
+    // uneven block costs into the PE array (paper Fig. 11(b)).
+    if (obs::metricsEnabled()) {
+        static const obs::Counter calls = obs::counter("sim.sched.calls");
+        static const obs::Counter blocks =
+            obs::counter("sim.sched.blocks");
+        static const obs::Counter makespan =
+            obs::counter("sim.sched.makespan_beats");
+        static const obs::Counter busy =
+            obs::counter("sim.sched.busy_beats");
+        static const obs::Counter idle =
+            obs::counter("sim.sched.idle_beats");
+        static const obs::Gauge heaviest =
+            obs::gauge("sim.sched.heaviest_block_beats");
+        static const obs::Histogram cost_hist =
+            obs::histogram("sim.sched.block_cost_beats", 0.0, 128.0, 16);
+        calls.add();
+        blocks.add(costs.size());
+        makespan.add(res.makespan);
+        busy.addRounded(res.busyBeats);
+        idle.addRounded(std::max(0.0, denom - res.busyBeats));
+        for (const uint64_t c : costs) {
+            heaviest.record(static_cast<int64_t>(c));
+            cost_hist.observe(static_cast<double>(c));
+        }
+    }
     return res;
 }
 

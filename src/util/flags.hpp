@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Typed command-line flag registry.
+ *
+ * Subcommands declare their flags once — name, bound output variable,
+ * metavar, help text — and get parsing, validation, and help rendering
+ * from the same declaration. Parsing never aborts: it returns
+ * Result<..., FlagError> so the caller decides how to report problems
+ * (the CLI prints to stderr and exits 2; tests inspect the error).
+ *
+ * Grammar: `--name value` for typed options, `--name` for boolean
+ * switches, bare words for declared positionals. A valued option
+ * consumes the next argv token verbatim (values may start with '-').
+ */
+
+#ifndef TBSTC_UTIL_FLAGS_HPP
+#define TBSTC_UTIL_FLAGS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "result.hpp"
+
+namespace tbstc::util {
+
+/** What went wrong while parsing an argv vector. */
+enum class FlagErrorKind : uint8_t
+{
+    UnknownFlag,          ///< `--name` was never registered.
+    MissingValue,         ///< Valued flag at the end of argv.
+    BadValue,             ///< Value failed numeric conversion.
+    MissingRequired,      ///< Required flag absent after parsing.
+    UnexpectedPositional, ///< Bare word with no positional slot left.
+    MissingPositional,    ///< Declared positional absent.
+};
+
+/** Stable identifier for a FlagErrorKind (for logs and tests). */
+const char *flagErrorName(FlagErrorKind kind);
+
+/** Structured parse failure: taxonomy entry + offending flag. */
+struct FlagError
+{
+    FlagErrorKind kind = FlagErrorKind::UnknownFlag;
+    std::string flag;    ///< Flag or positional name, without "--".
+    std::string message; ///< Human-readable description.
+};
+
+/**
+ * One subcommand's flag registry. Register flags against caller-owned
+ * variables (whose initial values double as the defaults), then call
+ * parse(). Registration order is the help order.
+ */
+class FlagSet
+{
+  public:
+    /** @p command names the subcommand in usage/help output. */
+    explicit FlagSet(std::string command, std::string summary = "");
+
+    /** Boolean switch: present sets *out = true, no value consumed. */
+    FlagSet &flag(const std::string &name, bool *out,
+                  const std::string &help);
+
+    /** String-valued option. */
+    FlagSet &option(const std::string &name, std::string *out,
+                    const std::string &metavar, const std::string &help,
+                    bool required = false);
+
+    /** Floating-point option (strtod; rejects trailing junk). */
+    FlagSet &option(const std::string &name, double *out,
+                    const std::string &metavar, const std::string &help,
+                    bool required = false);
+
+    /** Unsigned-integer option (strtoull; rejects trailing junk). */
+    FlagSet &option(const std::string &name, uint64_t *out,
+                    const std::string &metavar, const std::string &help,
+                    bool required = false);
+
+    /** Bare-word positional argument, filled in declaration order. */
+    FlagSet &positional(const std::string &name, std::string *out,
+                        const std::string &help, bool required = true);
+
+    /**
+     * Parse argv[first..argc). On success every bound variable holds
+     * its parsed or default value; on error the bound variables are in
+     * an unspecified partially-written state and only the FlagError
+     * should be consulted. `--help` anywhere stops parsing and reports
+     * success with helpRequested() set.
+     */
+    Result<bool, FlagError> parse(int argc, char **argv, int first = 2);
+
+    /** Whether @p name appeared explicitly in the parsed argv. */
+    bool seen(const std::string &name) const;
+
+    /** Whether parse() consumed a `--help` token. */
+    bool helpRequested() const { return helpRequested_; }
+
+    /** Auto-generated usage + option reference for this subcommand. */
+    std::string help() const;
+
+  private:
+    enum class Kind : uint8_t { Bool, Str, F64, U64 };
+
+    struct Spec
+    {
+        std::string name;
+        std::string metavar;
+        std::string help;
+        Kind kind = Kind::Bool;
+        bool required = false;
+        bool seen = false;
+        void *out = nullptr;
+    };
+
+    struct Positional
+    {
+        std::string name;
+        std::string help;
+        bool required = true;
+        bool seen = false;
+        std::string *out = nullptr;
+    };
+
+    Spec *find(const std::string &name);
+    FlagSet &add(Spec spec);
+
+    std::string command_;
+    std::string summary_;
+    std::vector<Spec> specs_;
+    std::vector<Positional> positionals_;
+    bool helpRequested_ = false;
+};
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_FLAGS_HPP

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "logging.hpp"
+#include "obs/obs.hpp"
 
 namespace tbstc::util {
 
@@ -56,14 +57,53 @@ struct Batch
     std::vector<std::exception_ptr> errors; ///< Slot per chunk.
 };
 
-/** Run claimed chunks until the batch is exhausted. */
-void
-drainBatch(Batch &b)
+/**
+ * Pool telemetry (Domain::Host: values depend on the host schedule and
+ * worker count, so they are excluded from the deterministic export).
+ */
+struct PoolMetrics
 {
+    obs::Counter batches =
+        obs::counter("parallel.batches", obs::Domain::Host);
+    obs::Counter chunks =
+        obs::counter("parallel.chunks", obs::Domain::Host);
+    obs::Counter inlineChunks =
+        obs::counter("parallel.chunks_inline", obs::Domain::Host);
+    obs::Counter steals =
+        obs::counter("parallel.steals", obs::Domain::Host);
+    obs::Gauge queueDepthPeak =
+        obs::gauge("parallel.queue_depth_peak", obs::Domain::Host);
+    obs::Gauge workersPeak =
+        obs::gauge("parallel.workers_peak", obs::Domain::Host);
+};
+
+const PoolMetrics &
+poolMetrics()
+{
+    static const PoolMetrics m;
+    return m;
+}
+
+/**
+ * Run claimed chunks until the batch is exhausted. @p stealing marks
+ * execution by a pool worker rather than the submitting thread (the
+ * "steal count" of the queue's work-claiming).
+ */
+void
+drainBatch(Batch &b, bool stealing = false)
+{
+    const bool record = obs::metricsEnabled();
     for (;;) {
         const size_t ci = b.next.fetch_add(1, std::memory_order_relaxed);
         if (ci >= b.chunks)
             return;
+        if (record) {
+            poolMetrics().chunks.add();
+            if (stealing)
+                poolMetrics().steals.add();
+            poolMetrics().queueDepthPeak.record(
+                static_cast<int64_t>(b.chunks - ci));
+        }
         try {
             (*b.fn)(ci);
         } catch (...) {
@@ -109,6 +149,12 @@ class ThreadPool
             return;
         }
 
+        if (obs::metricsEnabled()) {
+            poolMetrics().batches.add();
+            poolMetrics().workersPeak.record(
+                static_cast<int64_t>(workers_));
+        }
+
         Batch batch;
         batch.fn = &fn;
         batch.chunks = chunks;
@@ -142,6 +188,8 @@ class ThreadPool
     static void
     runInline(size_t chunks, const std::function<void(size_t)> &fn)
     {
+        if (obs::metricsEnabled())
+            poolMetrics().inlineChunks.add(chunks);
         for (size_t ci = 0; ci < chunks; ++ci)
             fn(ci);
     }
@@ -163,7 +211,7 @@ class ThreadPool
             Batch *b = batch_;
             ++active_;
             lk.unlock();
-            drainBatch(*b);
+            drainBatch(*b, /*stealing=*/true);
             lk.lock();
             --active_;
             if (active_ == 0)

@@ -66,10 +66,23 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 void
 Histogram::add(double x, double weight)
 {
-    const double span = hi_ - lo_;
-    auto bin = static_cast<long>((x - lo_) / span
-                                 * static_cast<double>(counts_.size()));
-    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    // NaN has no bin (and casting it to an integer is UB): drop it.
+    // Infinities clamp to the edge bins like any out-of-range value —
+    // resolve them before the cast, which is UB for values outside
+    // long's range.
+    if (std::isnan(x))
+        return;
+    const auto top = static_cast<long>(counts_.size()) - 1;
+    long bin = 0;
+    if (x >= hi_) {
+        bin = top;
+    } else if (x > lo_) {
+        const double span = hi_ - lo_;
+        bin = std::clamp<long>(
+            static_cast<long>((x - lo_) / span
+                              * static_cast<double>(counts_.size())),
+            0, top);
+    }
     counts_[static_cast<size_t>(bin)] += weight;
     total_ += weight;
 }

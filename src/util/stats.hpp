@@ -53,7 +53,12 @@ class RatioStat
     double den_ = 0.0;
 };
 
-/** Fixed-width histogram over [lo, hi) with out-of-range clamping. */
+/**
+ * Fixed-width histogram over [lo, hi) with out-of-range clamping:
+ * values past either edge (including infinities) land in the edge
+ * bins. NaN samples are dropped — they have no bin and do not count
+ * toward total().
+ */
 class Histogram
 {
   public:

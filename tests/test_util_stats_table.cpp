@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/fmt.hpp"
@@ -70,6 +72,41 @@ TEST(Histogram, BinsAndClamping)
     EXPECT_DOUBLE_EQ(h.binHi(1), 4.0);
 }
 
+TEST(Histogram, NanSamplesAreDropped)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(std::nan(""));
+    h.add(std::nan(""), 3.0);
+    EXPECT_DOUBLE_EQ(h.total(), 0.0);
+    for (size_t i = 0; i < h.bins(); ++i)
+        EXPECT_DOUBLE_EQ(h.count(i), 0.0);
+    h.add(5.0); // Still works after NaN traffic.
+    EXPECT_DOUBLE_EQ(h.total(), 1.0);
+}
+
+TEST(Histogram, InfinitiesClampToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity(), 2.0);
+    h.add(std::numeric_limits<double>::max());
+    h.add(-std::numeric_limits<double>::max());
+    EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+    EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(Histogram, ExactBoundariesLandInExpectedBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);  // lo: bin 0.
+    h.add(10.0); // hi (exclusive upper bound): clamps to top bin.
+    h.add(2.0);  // First interior boundary: bin 1.
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+}
+
 TEST(Histogram, RejectsDegenerate)
 {
     EXPECT_THROW(Histogram(1.0, 1.0, 4), PanicError);
@@ -101,6 +138,26 @@ TEST(Table, RendersAligned)
     EXPECT_NE(out.find("long-name"), std::string::npos);
     EXPECT_NE(out.find("-----"), std::string::npos);
     EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RendersEmptyTable)
+{
+    Table t({"a", "b"});
+    EXPECT_EQ(t.rows(), 0u);
+    const std::string out = t.render();
+    // Header and rule are still present with zero data rows.
+    EXPECT_NE(out.find('a'), std::string::npos);
+    EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(Table, RendersSingleRow)
+{
+    Table t({"col"});
+    t.addRow({"only"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.data()[0][0], "only");
 }
 
 TEST(Table, RejectsBadRow)

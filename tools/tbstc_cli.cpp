@@ -9,9 +9,19 @@
  *   fsck     validate a serialized DDC stream, report decode errors
  *   area     area/power breakdown of an accelerator
  *
+ * Every subcommand declares its flags in a util::FlagSet, so parsing,
+ * validation, and `tbstc help <command>` output all come from one
+ * declaration. Telemetry flags (--trace / --metrics) are shared by the
+ * simulating subcommands and enable the src/obs subsystem for the run.
+ *
+ * Stream discipline: machine-consumable output (tables, CSV, fsck
+ * verdict lines) goes to stdout; diagnostics go to stderr.
+ *
  * Examples:
  *   tbstc run --accel tbstc --model bert --sparsity 0.75 --seq 128
  *   tbstc run --accel tbstc --layer 3072x768x128 --sparsity 0.5 --csv
+ *   tbstc run --accel tbstc --layer 512x512x8 \
+ *       --trace trace.json --metrics metrics.json
  *   tbstc compare --model opt --sparsity 0.5 --seq 256
  *   tbstc formats --layer 512x512x1 --sparsity 0.75 --dump w.ddc
  *   tbstc fsck w.ddc
@@ -19,7 +29,6 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -31,8 +40,10 @@
 #include "core/sparsify.hpp"
 #include "format/encoding.hpp"
 #include "format/serialize.hpp"
+#include "obs/obs.hpp"
 #include "sim/dram.hpp"
 #include "sim/energy.hpp"
+#include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "workload/synth.hpp"
@@ -41,72 +52,12 @@ using namespace tbstc;
 
 namespace {
 
-/** Minimal --key value / --flag argument parser. */
-class Args
+[[noreturn]] void
+fail(const std::string &msg)
 {
-  public:
-    Args(int argc, char **argv)
-    {
-        for (int i = 2; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) != 0) {
-                fail("unexpected argument '" + key + "'");
-            }
-            key = key.substr(2);
-            if (i + 1 < argc
-                && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-                values_[key] = argv[++i];
-            } else {
-                values_[key] = "";
-            }
-        }
-    }
-
-    std::optional<std::string>
-    get(const std::string &key) const
-    {
-        const auto it = values_.find(key);
-        return it == values_.end()
-            ? std::nullopt
-            : std::optional<std::string>(it->second);
-    }
-
-    std::string
-    require(const std::string &key) const
-    {
-        const auto v = get(key);
-        if (!v || v->empty())
-            fail("missing required option --" + key);
-        return *v;
-    }
-
-    double
-    getDouble(const std::string &key, double fallback) const
-    {
-        const auto v = get(key);
-        return v && !v->empty() ? std::stod(*v) : fallback;
-    }
-
-    uint64_t
-    getU64(const std::string &key, uint64_t fallback) const
-    {
-        const auto v = get(key);
-        return v && !v->empty() ? std::stoull(*v) : fallback;
-    }
-
-    bool has(const std::string &key) const { return get(key).has_value(); }
-
-    [[noreturn]] static void
-    fail(const std::string &msg)
-    {
-        std::fprintf(stderr, "tbstc: %s (try 'tbstc help')\n",
-                     msg.c_str());
-        std::exit(2);
-    }
-
-  private:
-    std::map<std::string, std::string> values_;
-};
+    std::fprintf(stderr, "tbstc: %s (try 'tbstc help')\n", msg.c_str());
+    std::exit(2);
+}
 
 accel::AccelKind
 parseAccel(const std::string &name)
@@ -123,7 +74,7 @@ parseAccel(const std::string &name)
     };
     const auto it = kinds.find(name);
     if (it == kinds.end())
-        Args::fail("unknown accelerator '" + name + "'");
+        fail("unknown accelerator '" + name + "'");
     return it->second;
 }
 
@@ -139,7 +90,7 @@ parseModel(const std::string &name)
     };
     const auto it = models.find(name);
     if (it == models.end())
-        Args::fail("unknown model '" + name + "'");
+        fail("unknown model '" + name + "'");
     return it->second;
 }
 
@@ -155,8 +106,114 @@ parseLayer(const std::string &spec)
                     reinterpret_cast<unsigned long long *>(&y),
                     reinterpret_cast<unsigned long long *>(&nb))
         != 3)
-        Args::fail("layer spec must be XxYxNB, got '" + spec + "'");
+        fail("layer spec must be XxYxNB, got '" + spec + "'");
     return {"cli.layer", x, y, nb};
+}
+
+/**
+ * Flags shared by the simulating subcommands (run/compare), bound to
+ * one options struct. declare() registers them on a FlagSet in a fixed
+ * order so help output is uniform across subcommands.
+ */
+struct SimOpts
+{
+    std::string model;
+    std::string layer;
+    double sparsity = 0.5;
+    uint64_t seq = 128;
+    uint64_t seed = 42;
+    double bw = 0.0;
+    bool int8 = false;
+    bool full = false;
+    uint64_t threads = 0;
+    bool csv = false;
+    std::string tracePath;
+    std::string metricsPath;
+    bool metricsHost = false;
+
+    void
+    declare(util::FlagSet &flags)
+    {
+        flags
+            .option("model", &model, "M",
+                    "workload model: resnet50 resnet18 bert opt llama")
+            .option("layer", &layer, "XxYxNB",
+                    "simulate one GEMM layer instead of a model")
+            .option("sparsity", &sparsity, "S",
+                    "weight sparsity degree (default 0.5)")
+            .option("seq", &seq, "N",
+                    "sequence length for transformers (default 128)")
+            .option("bw", &bw, "GB/s", "override off-chip bandwidth")
+            .flag("int8", &int8, "8-bit weights (Q+S mode)")
+            .flag("full", &full,
+                  "include dense attention GEMMs (inference)")
+            .option("seed", &seed, "N",
+                    "weight-synthesis seed (default 42)")
+            .option("threads", &threads, "N",
+                    "worker threads (default TBSTC_THREADS or all "
+                    "cores; 1 = serial; results identical at any "
+                    "setting)")
+            .flag("csv", &csv, "machine-readable output")
+            .option("trace", &tracePath, "FILE",
+                    "write a chrome://tracing event trace")
+            .option("metrics", &metricsPath, "FILE",
+                    "write the deterministic metrics JSON")
+            .flag("metrics-host", &metricsHost,
+                  "include host-domain (schedule-dependent) metrics "
+                  "in --metrics output");
+    }
+
+    /** Turn on the obs subsystem for the flags that need it. */
+    void
+    enableTelemetry() const
+    {
+        if (!tracePath.empty())
+            obs::setTracingEnabled(true);
+        if (!metricsPath.empty())
+            obs::setMetricsEnabled(true);
+        if (threads > 0)
+            util::setThreads(threads);
+    }
+
+    /** Write requested telemetry files; returns 0 or an exit code. */
+    int
+    writeTelemetry() const
+    {
+        if (!metricsPath.empty()
+            && !obs::writeMetricsJson(metricsPath, metricsHost)) {
+            std::fprintf(stderr, "tbstc: cannot write '%s'\n",
+                         metricsPath.c_str());
+            return 1;
+        }
+        if (!tracePath.empty()
+            && !obs::writeChromeTrace(tracePath)) {
+            std::fprintf(stderr, "tbstc: cannot write '%s'\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        return 0;
+    }
+};
+
+/**
+ * Run a FlagSet over argv, printing help or a parse diagnostic as
+ * appropriate. Returns an exit code to propagate, or -1 to proceed.
+ */
+int
+parseOrReport(util::FlagSet &flags, int argc, char **argv)
+{
+    const auto parsed = flags.parse(argc, argv);
+    if (!parsed) {
+        const auto &e = parsed.error();
+        std::fprintf(stderr, "tbstc: %s\n%s", e.message.c_str(),
+                     flags.help().c_str());
+        return 2;
+    }
+    if (flags.helpRequested()) {
+        std::fputs(flags.help().c_str(), stdout);
+        return 0;
+    }
+    return -1;
 }
 
 void
@@ -176,68 +233,101 @@ printStats(const std::string &label, const sim::RunStats &s, bool csv)
 }
 
 sim::RunStats
-runOne(accel::AccelKind kind, const Args &args)
+runOne(accel::AccelKind kind, const SimOpts &opts, bool bw_set)
 {
-    const double sparsity = args.getDouble("sparsity", 0.5);
-    const uint64_t seq = args.getU64("seq", 128);
-    const uint64_t seed = args.getU64("seed", 42);
-    const bool int8 = args.has("int8");
-
     std::optional<sim::ArchConfig> override;
-    if (args.has("bw")) {
+    if (bw_set) {
         auto cfg = accel::accelConfig(kind);
-        cfg.dramGbps = args.getDouble("bw", cfg.dramGbps);
+        cfg.dramGbps = opts.bw;
         override = cfg;
     }
 
-    if (args.has("layer")) {
+    if (!opts.layer.empty()) {
         accel::RunRequest req;
-        req.shape = parseLayer(args.require("layer"));
-        req.sparsity = sparsity;
-        req.seed = seed;
-        req.int8Weights = int8;
+        req.shape = parseLayer(opts.layer);
+        req.sparsity = opts.sparsity;
+        req.seed = opts.seed;
+        req.int8Weights = opts.int8;
         req.configOverride = override;
         return accel::runLayer(kind, req);
     }
-    const auto model = parseModel(args.require("model"));
-    if (args.has("full")) {
+    if (opts.model.empty())
+        fail("need --model or --layer");
+    const auto model = parseModel(opts.model);
+    if (opts.full) {
         // Full inference pass: weight GEMMs + dense attention GEMMs.
-        return accel::runInference(kind, model, sparsity, seq, int8,
-                                   seed);
+        return accel::runInference(kind, model, opts.sparsity, opts.seq,
+                                   opts.int8, opts.seed);
     }
     if (override) {
         sim::RunStats total;
-        for (const auto &shape : workload::modelLayers(model, seq)) {
+        for (const auto &shape :
+             workload::modelLayers(model, opts.seq)) {
             accel::RunRequest req;
             req.shape = shape;
-            req.sparsity = sparsity;
-            req.seed = seed;
-            req.int8Weights = int8;
+            req.sparsity = opts.sparsity;
+            req.seed = opts.seed;
+            req.int8Weights = opts.int8;
             req.configOverride = override;
             total.accumulate(accel::runLayer(kind, req));
         }
         return total;
     }
-    return accel::runModel(kind, model, sparsity, seq, int8, seed);
+    return accel::runModel(kind, model, opts.sparsity, opts.seq,
+                           opts.int8, opts.seed);
+}
+
+util::FlagSet
+runFlags(SimOpts &opts, std::string &accel)
+{
+    util::FlagSet flags(
+        "run", "Simulate one model or layer on one accelerator.");
+    flags.option("accel", &accel, "K",
+                 "accelerator: tc stc vegeta highlight rmstc sgcn "
+                 "tbstc fan",
+                 /*required=*/true);
+    opts.declare(flags);
+    return flags;
 }
 
 int
-cmdRun(const Args &args)
+cmdRun(int argc, char **argv)
 {
-    const auto kind = parseAccel(args.require("accel"));
-    const bool csv = args.has("csv");
-    if (csv)
+    SimOpts opts;
+    std::string accel;
+    util::FlagSet flags = runFlags(opts, accel);
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+    opts.enableTelemetry();
+
+    const auto kind = parseAccel(accel);
+    if (opts.csv)
         std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
                     "bwUtil\n");
-    printStats(accel::accelName(kind), runOne(kind, args), csv);
-    return 0;
+    printStats(accel::accelName(kind),
+               runOne(kind, opts, flags.seen("bw")), opts.csv);
+    return opts.writeTelemetry();
+}
+
+util::FlagSet
+compareFlags(SimOpts &opts)
+{
+    util::FlagSet flags(
+        "compare", "Simulate a workload on every accelerator.");
+    opts.declare(flags);
+    return flags;
 }
 
 int
-cmdCompare(const Args &args)
+cmdCompare(int argc, char **argv)
 {
-    const bool csv = args.has("csv");
-    if (csv)
+    SimOpts opts;
+    util::FlagSet flags = compareFlags(opts);
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+    opts.enableTelemetry();
+
+    if (opts.csv)
         std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
                     "bwUtil\n");
     const std::vector<accel::AccelKind> kinds{
@@ -247,21 +337,38 @@ cmdCompare(const Args &args)
         accel::AccelKind::TbStc};
     // One independent simulation per accelerator: fan out, print in
     // the fixed order.
+    const bool bw_set = flags.seen("bw");
     const auto stats = util::parallelMap<sim::RunStats>(
-        kinds.size(), [&](size_t i) { return runOne(kinds[i], args); });
+        kinds.size(),
+        [&](size_t i) { return runOne(kinds[i], opts, bw_set); });
     for (size_t i = 0; i < kinds.size(); ++i)
-        printStats(accel::accelName(kinds[i]), stats[i], csv);
-    return 0;
+        printStats(accel::accelName(kinds[i]), stats[i], opts.csv);
+    return opts.writeTelemetry();
 }
 
 int
-cmdFormats(const Args &args)
+cmdFormats(int argc, char **argv)
 {
-    const auto shape = args.has("layer")
-        ? parseLayer(args.require("layer"))
+    std::string layer;
+    double sparsity = 0.75;
+    uint64_t seed = 42;
+    std::string dump;
+    util::FlagSet flags(
+        "formats",
+        "Storage-format study: bytes, redundancy, bandwidth.");
+    flags
+        .option("layer", &layer, "XxYxNB",
+                "weight-matrix shape (default 512x512x1)")
+        .option("sparsity", &sparsity, "S",
+                "weight sparsity degree (default 0.75)")
+        .option("seed", &seed, "N", "weight-synthesis seed (default 42)")
+        .option("dump", &dump, "FILE", "write the DDC byte stream");
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+
+    const auto shape = !layer.empty()
+        ? parseLayer(layer)
         : workload::GemmShape{"cli.formats", 512, 512, 1};
-    const double sparsity = args.getDouble("sparsity", 0.75);
-    const uint64_t seed = args.getU64("seed", 42);
 
     const auto w = workload::synthWeights(shape, seed, 4096);
     const auto scores = core::magnitudeScores(w);
@@ -292,31 +399,40 @@ cmdFormats(const Args &args)
                 sparsity * 100.0);
     t.print();
 
-    if (args.has("dump")) {
-        const std::string path = args.require("dump");
+    if (!dump.empty()) {
         const auto bytes = format::serializeDdc(w, tbs.mask, tbs.meta);
-        std::ofstream out(path, std::ios::binary);
+        std::ofstream out(dump, std::ios::binary);
         if (!out
             || !out.write(reinterpret_cast<const char *>(bytes.data()),
                           static_cast<std::streamsize>(bytes.size()))) {
             std::fprintf(stderr, "tbstc: cannot write '%s'\n",
-                         path.c_str());
+                         dump.c_str());
             return 1;
         }
         std::printf("wrote %zu-byte DDC stream to %s\n", bytes.size(),
-                    path.c_str());
+                    dump.c_str());
     }
     return 0;
 }
 
 /**
- * fsck: validate a DDC stream dumped to disk, reporting the decode
- * taxonomy entry and byte offset on failure. Exit 0 only for a stream
- * the hardened decoder fully accepts.
+ * fsck: validate a DDC stream dumped to disk. The one-line verdict
+ * (`<path>: ok ...` / `<path>: corrupt ...`) is machine output and
+ * goes to stdout; the human-readable decode diagnostic goes to
+ * stderr. Exit 0 only for a stream the hardened decoder fully accepts.
  */
 int
-cmdFsck(const std::string &path)
+cmdFsck(int argc, char **argv)
 {
+    std::string path;
+    util::FlagSet flags(
+        "fsck",
+        "Validate a dumped DDC stream; prints the decode-error class "
+        "and byte offset, exits non-zero on corruption.");
+    flags.positional("FILE", &path, "serialized DDC stream to check");
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         std::fprintf(stderr, "tbstc fsck: cannot read '%s'\n",
@@ -330,10 +446,10 @@ cmdFsck(const std::string &path)
     const auto parsed = format::tryDeserializeDdc(bytes);
     if (!parsed) {
         const auto &e = parsed.error();
-        std::fprintf(stderr,
-                     "tbstc fsck: %s: %s at byte %zu: %s\n",
-                     path.c_str(), format::decodeErrorName(e.kind),
-                     e.offset, e.message.c_str());
+        std::fprintf(stderr, "tbstc fsck: %s: %s\n", path.c_str(),
+                     e.message.c_str());
+        std::printf("%s: corrupt %s at byte %zu\n", path.c_str(),
+                    format::decodeErrorName(e.kind), e.offset);
         return 1;
     }
     std::printf("%s: ok — %zux%zu matrix, m=%zu, %zu blocks, "
@@ -346,9 +462,19 @@ cmdFsck(const std::string &path)
 }
 
 int
-cmdArea(const Args &args)
+cmdArea(int argc, char **argv)
 {
-    const auto kind = parseAccel(args.require("accel"));
+    std::string accel;
+    util::FlagSet flags("area",
+                        "Area/power breakdown of an accelerator.");
+    flags.option("accel", &accel, "K",
+                 "accelerator: tc stc vegeta highlight rmstc sgcn "
+                 "tbstc fan",
+                 /*required=*/true);
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+
+    const auto kind = parseAccel(accel);
     const sim::AreaModel model{accel::accelConfig(kind)};
     util::Table t({"component", "area(mm^2)", "power(mW)"});
     for (const auto &c : model.components())
@@ -361,8 +487,32 @@ cmdArea(const Args &args)
 }
 
 int
-cmdHelp()
+cmdHelp(int argc, char **argv)
 {
+    // `tbstc help <command>` prints that subcommand's generated help.
+    if (argc >= 3) {
+        const std::string topic = argv[2];
+        SimOpts opts;
+        std::string accel;
+        if (topic == "run") {
+            std::fputs(runFlags(opts, accel).help().c_str(), stdout);
+            return 0;
+        }
+        if (topic == "compare") {
+            std::fputs(compareFlags(opts).help().c_str(), stdout);
+            return 0;
+        }
+        // The remaining subcommands print their own help via --help.
+        if (topic == "formats" || topic == "fsck" || topic == "area") {
+            char help_flag[] = "--help";
+            char *sub_argv[] = {argv[0], argv[2], help_flag};
+            if (topic == "formats")
+                return cmdFormats(3, sub_argv);
+            if (topic == "fsck")
+                return cmdFsck(3, sub_argv);
+            return cmdArea(3, sub_argv);
+        }
+    }
     std::puts(
         "tbstc — TB-STC sparse-tensor-core simulator\n"
         "\n"
@@ -373,26 +523,16 @@ cmdHelp()
         "  compare  (--model M | --layer XxYxNB) [options]\n"
         "  formats  [--layer XxYxNB] [--sparsity S] [--seed N]\n"
         "           [--dump FILE]  (write the DDC byte stream)\n"
-        "  fsck     FILE  (validate a dumped DDC stream; prints the\n"
-        "           decode-error class and byte offset, exits non-zero\n"
-        "           on corruption)\n"
+        "  fsck     FILE  (validate a dumped DDC stream)\n"
         "  area     --accel K\n"
-        "  help\n"
+        "  help     [command]\n"
         "\n"
         "accelerators: tc stc vegeta highlight rmstc sgcn tbstc fan\n"
         "models:       resnet50 resnet18 bert opt llama\n"
         "\n"
-        "options:\n"
-        "  --sparsity S   weight sparsity degree (default 0.5)\n"
-        "  --seq N        sequence length for transformers (default 128)\n"
-        "  --bw GB/s      override off-chip bandwidth\n"
-        "  --int8         8-bit weights (Q+S mode)\n"
-        "  --full         include dense attention GEMMs (inference)\n"
-        "  --seed N       weight-synthesis seed (default 42)\n"
-        "  --threads N    worker threads for parallel sweeps\n"
-        "                 (default TBSTC_THREADS or all cores; 1 =\n"
-        "                 serial; results identical at any setting)\n"
-        "  --csv          machine-readable output");
+        "'tbstc help <command>' or 'tbstc <command> --help' lists the\n"
+        "command's options, including the telemetry flags --trace and\n"
+        "--metrics (see docs/observability.md).");
     return 0;
 }
 
@@ -402,29 +542,22 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2)
-        return cmdHelp();
+        return cmdHelp(argc, argv);
     const std::string cmd = argv[1];
     try {
-        if (cmd == "fsck") {
-            // Positional FILE argument, not --key value.
-            if (argc != 3)
-                Args::fail("fsck expects exactly one FILE argument");
-            return cmdFsck(argv[2]);
-        }
-        const Args args(argc, argv);
-        if (args.has("threads"))
-            util::setThreads(args.getU64("threads", 0));
         if (cmd == "run")
-            return cmdRun(args);
+            return cmdRun(argc, argv);
         if (cmd == "compare")
-            return cmdCompare(args);
+            return cmdCompare(argc, argv);
         if (cmd == "formats")
-            return cmdFormats(args);
+            return cmdFormats(argc, argv);
+        if (cmd == "fsck")
+            return cmdFsck(argc, argv);
         if (cmd == "area")
-            return cmdArea(args);
-        if (cmd == "help" || cmd == "--help")
-            return cmdHelp();
-        Args::fail("unknown command '" + cmd + "'");
+            return cmdArea(argc, argv);
+        if (cmd == "help" || cmd == "--help" || cmd == "-h")
+            return cmdHelp(argc, argv);
+        fail("unknown command '" + cmd + "'");
     } catch (const std::exception &e) {
         std::fprintf(stderr, "tbstc: %s\n", e.what());
         return 1;
