@@ -9,12 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/blockstats.hpp"
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
 #include "format/codec.hpp"
 #include "format/encoding.hpp"
 #include "sim/pipeline.hpp"
 #include "sim/scheduler.hpp"
+#include "util/contentstore.hpp"
 #include "util/rng.hpp"
 #include "workload/profile_builder.hpp"
 #include "workload/synth.hpp"
@@ -22,6 +28,22 @@
 namespace {
 
 using namespace tbstc;
+
+/**
+ * Run @p body with the content store disabled, so a benchmark of the
+ * compute path measures compute, not memoization. (The store is
+ * process-global; benchmarks run serially so flipping it is safe.)
+ */
+template <typename F>
+void
+withoutCache(F &&body)
+{
+    util::ContentStore &store = util::ContentStore::instance();
+    const bool was = store.enabled();
+    store.setEnabled(false);
+    body();
+    store.setEnabled(was);
+}
 
 core::Matrix
 benchScores(size_t dim)
@@ -124,8 +146,10 @@ BM_SimulateLayer(benchmark::State &state)
     spec.fmt = format::StorageFormat::DDC;
     const auto profile = workload::buildLayerProfile(spec);
     const sim::ArchConfig cfg;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sim::simulateLayer(profile, cfg));
+    withoutCache([&] {
+        for (auto _ : state)
+            benchmark::DoNotOptimize(sim::simulateLayer(profile, cfg));
+    });
 }
 BENCHMARK(BM_SimulateLayer);
 
@@ -137,11 +161,186 @@ BM_BuildLayerProfile(benchmark::State &state)
     spec.pattern = core::Pattern::TBS;
     spec.sparsity = 0.75;
     spec.fmt = format::StorageFormat::DDC;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(workload::buildLayerProfile(spec));
+    withoutCache([&] {
+        for (auto _ : state)
+            benchmark::DoNotOptimize(workload::buildLayerProfile(spec));
+    });
 }
 BENCHMARK(BM_BuildLayerProfile);
 
+// --------------------------------------------------------------------
+// Packed-mask kernels: the word-parallel primitives the bit-packed
+// Mask replaced byte loops with. Throughput here is what the 3x
+// blockstats / 2x tbsMask end-to-end speedups are built from.
+// --------------------------------------------------------------------
+
+core::Mask
+benchMask(size_t dim, double sparsity, uint64_t seed)
+{
+    const auto w = workload::synthWeights(
+        {"mask-bench", dim, dim, 1}, seed);
+    return core::usMask(core::magnitudeScores(w), sparsity);
+}
+
+void
+BM_MaskNnz(benchmark::State &state)
+{
+    const auto m = benchMask(state.range(0), 0.75, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.nnz());
+    state.SetItemsProcessed(state.iterations() * m.size());
+}
+BENCHMARK(BM_MaskNnz)->Arg(1024);
+
+void
+BM_MaskAgreement(benchmark::State &state)
+{
+    const auto a = benchMask(state.range(0), 0.75, 2);
+    const auto b = benchMask(state.range(0), 0.75, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.agreement(b));
+    state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_MaskAgreement)->Arg(1024);
+
+void
+BM_MaskOverlap(benchmark::State &state)
+{
+    const auto a = benchMask(state.range(0), 0.75, 2);
+    const auto b = benchMask(state.range(0), 0.75, 3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.overlap(b));
+    state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_MaskOverlap)->Arg(1024);
+
+void
+BM_MaskAnd(benchmark::State &state)
+{
+    const auto a = benchMask(state.range(0), 0.75, 2);
+    const auto b = benchMask(state.range(0), 0.75, 3);
+    for (auto _ : state) {
+        core::Mask c = a;
+        c &= b;
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_MaskAnd)->Arg(1024);
+
+void
+BM_BlockNnz(benchmark::State &state)
+{
+    const auto m = benchMask(1024, 0.75, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::blockNnz(m, static_cast<size_t>(state.range(0))));
+    state.SetItemsProcessed(state.iterations() * m.size());
+}
+BENCHMARK(BM_BlockNnz)->Arg(8)->Arg(16);
+
+void
+BM_ApplyMask(benchmark::State &state)
+{
+    const auto w = workload::synthWeights(
+        {"mask-bench", 1024, 1024, 1}, 2);
+    const auto m = core::usMask(core::magnitudeScores(w), 0.75);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::applyMask(w, m));
+    state.SetItemsProcessed(state.iterations() * m.size());
+}
+BENCHMARK(BM_ApplyMask);
+
+// --------------------------------------------------------------------
+// Content-addressed cache paths: a warm profile/sim request must cost
+// hash + map lookup + payload decode, not a rebuild. The *Cached
+// variants measure exactly the path a warm fig-grid run takes.
+// --------------------------------------------------------------------
+
+void
+BM_BuildLayerProfileCached(benchmark::State &state)
+{
+    workload::ProfileSpec spec;
+    spec.shape = {"profile-bench-hot", 512, 512, 128};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = 0.75;
+    spec.fmt = format::StorageFormat::DDC;
+    util::ContentStore &store = util::ContentStore::instance();
+    const bool was = store.enabled();
+    store.setEnabled(true);
+    benchmark::DoNotOptimize(workload::buildLayerProfile(spec)); // Warm.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(workload::buildLayerProfile(spec));
+    store.setEnabled(was);
+}
+BENCHMARK(BM_BuildLayerProfileCached);
+
+void
+BM_SimulateLayerCached(benchmark::State &state)
+{
+    workload::ProfileSpec spec;
+    spec.shape = {"sim-bench-hot", 512, 512, 128};
+    spec.pattern = core::Pattern::TBS;
+    spec.sparsity = 0.75;
+    spec.fmt = format::StorageFormat::DDC;
+    util::ContentStore &store = util::ContentStore::instance();
+    const bool was = store.enabled();
+    store.setEnabled(true);
+    const auto profile = workload::buildLayerProfile(spec);
+    const sim::ArchConfig cfg;
+    benchmark::DoNotOptimize(sim::simulateLayer(profile, cfg)); // Warm.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::simulateLayer(profile, cfg));
+    store.setEnabled(was);
+}
+BENCHMARK(BM_SimulateLayerCached);
+
+void
+BM_ContentStoreHit(benchmark::State &state)
+{
+    util::ContentStore store;
+    const std::vector<uint8_t> payload(
+        static_cast<size_t>(state.range(0)), 0x5a);
+    store.put("bench", 1, payload);
+    for (auto _ : state) {
+        auto [bytes, outcome] =
+            store.getOrCompute("bench", 1, [&] { return payload; });
+        benchmark::DoNotOptimize(bytes);
+        benchmark::DoNotOptimize(outcome);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ContentStoreHit)->Arg(1024)->Arg(65536);
+
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: accept the repo-wide `--json PATH` convention (what the
+ * CI perf-smoke job and the fig benches use) by translating it into
+ * google-benchmark's --benchmark_out flags before initialization.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv, argv + argc);
+    for (size_t i = 1; i + 1 < args.size(); ++i)
+        if (args[i] == "--json") {
+            const std::string path = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+            args.push_back("--benchmark_out=" + path);
+            args.push_back("--benchmark_out_format=json");
+            break;
+        }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (auto &a : args)
+        cargs.push_back(a.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

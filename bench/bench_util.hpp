@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <sys/resource.h>
 #include <vector>
 
 #include "accel/accelerator.hpp"
@@ -74,15 +75,22 @@ class BenchReport
             util::warn("cannot write --json file '{}'", path_);
             return;
         }
+        // Peak RSS covers the whole process so far; for a bench binary
+        // that is the figure's own working set (ru_maxrss is KiB on
+        // Linux).
+        struct rusage ru = {};
+        getrusage(RUSAGE_SELF, &ru);
         std::string metrics = obs::metricsJson();
         if (!metrics.empty() && metrics.back() == '\n')
             metrics.pop_back();
         std::fprintf(f,
                      "{\n  \"bench\": %s,\n  \"wall_seconds\": %.6f,\n"
+                     "  \"wall_ms\": %.3f,\n  \"peak_rss_kb\": %ld,\n"
                      "  \"threads\": %zu,\n  \"metrics\": %s,\n"
                      "  \"tables\": [\n",
-                     quote(bench_).c_str(), wall,
-                     util::effectiveThreads(), metrics.c_str());
+                     quote(bench_).c_str(), wall, wall * 1e3,
+                     ru.ru_maxrss, util::effectiveThreads(),
+                     metrics.c_str());
         for (size_t i = 0; i < tables_.size(); ++i)
             std::fprintf(f, "%s%s\n", tables_[i].c_str(),
                          i + 1 < tables_.size() ? "," : "");

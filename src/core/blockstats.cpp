@@ -42,6 +42,19 @@ directionDistribution(const TbsMeta &meta)
     return d;
 }
 
+namespace {
+
+/** SWAR per-byte popcounts: each byte of the result counts its own byte. */
+inline uint64_t
+bytePopcounts(uint64_t x)
+{
+    x = x - ((x >> 1) & 0x5555555555555555ull);
+    x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+    return (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+}
+
+} // namespace
+
 std::vector<size_t>
 blockNnz(const Mask &mask, size_t m)
 {
@@ -50,12 +63,34 @@ blockNnz(const Mask &mask, size_t m)
     const size_t block_rows = mask.rows() / m;
     const size_t block_cols = mask.cols() / m;
     std::vector<size_t> nnz(block_rows * block_cols, 0);
+    if (m == 8) {
+        // Each packed word holds 8 adjacent blocks' row bytes; SWAR
+        // byte-popcounts accumulate all 8 per-block sums at once (the
+        // 8-row vertical sum tops out at 64, well inside a byte).
+        const std::span<const uint64_t> words = mask.words();
+        const size_t wpr = mask.wordsPerRow();
+        std::vector<uint64_t> acc(wpr);
+        for (size_t br = 0; br < block_rows; ++br) {
+            std::fill(acc.begin(), acc.end(), uint64_t{0});
+            for (size_t r = 0; r < 8; ++r) {
+                const uint64_t *row = words.data() + (br * 8 + r) * wpr;
+                for (size_t w = 0; w < wpr; ++w)
+                    acc[w] += bytePopcounts(row[w]);
+            }
+            for (size_t bc = 0; bc < block_cols; ++bc)
+                nnz[br * block_cols + bc] =
+                    (acc[bc >> 3] >> ((bc & 7) * 8)) & 0xff;
+        }
+        return nnz;
+    }
+    // Word-at-a-time: each block row contributes one popcount per <=64
+    // columns.
     for (size_t br = 0; br < block_rows; ++br)
-        for (size_t bc = 0; bc < block_cols; ++bc)
-            for (size_t r = 0; r < m; ++r)
-                for (size_t c = 0; c < m; ++c)
-                    nnz[br * block_cols + bc] +=
-                        mask.at(br * m + r, bc * m + c);
+        for (size_t r = 0; r < m; ++r)
+            for (size_t bc = 0; bc < block_cols; ++bc)
+                for (size_t c0 = 0; c0 < m; c0 += 64)
+                    nnz[br * block_cols + bc] += mask.rangeNnz(
+                        br * m + r, bc * m + c0, std::min<size_t>(64, m - c0));
     return nnz;
 }
 

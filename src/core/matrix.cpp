@@ -49,26 +49,51 @@ Matrix::frobenius() const
 }
 
 Mask::Mask(size_t rows, size_t cols)
-    : rows_(rows), cols_(cols), keep_(rows * cols, 0)
+    : rows_(rows), cols_(cols), wpr_((cols + 63) / 64),
+      words_(rows * ((cols + 63) / 64), 0)
 {
+}
+
+std::vector<uint8_t>
+Mask::toBytes() const
+{
+    std::vector<uint8_t> out(rows_ * cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        uint8_t *dst = out.data() + r * cols_;
+        const uint64_t *row = words_.data() + r * wpr_;
+        for (size_t c = 0; c < cols_; ++c)
+            dst[c] = static_cast<uint8_t>((row[c >> 6] >> (c & 63)) & 1u);
+    }
+    return out;
 }
 
 size_t
 Mask::nnz() const
 {
     size_t n = 0;
-    for (uint8_t k : keep_)
-        n += k;
+    for (uint64_t w : words_)
+        n += static_cast<size_t>(std::popcount(w));
     return n;
 }
 
 double
 Mask::sparsity() const
 {
-    if (keep_.empty())
+    if (size() == 0)
         return 0.0;
-    return 1.0 - static_cast<double>(nnz())
-        / static_cast<double>(keep_.size());
+    return 1.0 - static_cast<double>(nnz()) / static_cast<double>(size());
+}
+
+size_t
+Mask::hamming(const Mask &other) const
+{
+    ensure(rows_ == other.rows_ && cols_ == other.cols_,
+           "Mask::hamming shape mismatch");
+    size_t diff = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+        diff += static_cast<size_t>(std::popcount(words_[i]
+                                                  ^ other.words_[i]));
+    return diff;
 }
 
 double
@@ -80,8 +105,9 @@ Mask::overlap(const Mask &other) const
     if (other_nnz == 0)
         return 1.0;
     size_t agree = 0;
-    for (size_t i = 0; i < keep_.size(); ++i)
-        agree += keep_[i] & other.keep_[i];
+    for (size_t i = 0; i < words_.size(); ++i)
+        agree += static_cast<size_t>(std::popcount(words_[i]
+                                                   & other.words_[i]));
     return static_cast<double>(agree) / static_cast<double>(other_nnz);
 }
 
@@ -90,12 +116,41 @@ Mask::agreement(const Mask &other) const
 {
     ensure(rows_ == other.rows_ && cols_ == other.cols_,
            "Mask::agreement shape mismatch");
-    if (keep_.empty())
+    if (size() == 0)
         return 1.0;
-    size_t same = 0;
-    for (size_t i = 0; i < keep_.size(); ++i)
-        same += keep_[i] == other.keep_[i];
-    return static_cast<double>(same) / static_cast<double>(keep_.size());
+    const size_t same = size() - hamming(other);
+    return static_cast<double>(same) / static_cast<double>(size());
+}
+
+Mask &
+Mask::operator&=(const Mask &other)
+{
+    ensure(rows_ == other.rows_ && cols_ == other.cols_,
+           "Mask::operator&= shape mismatch");
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+Mask &
+Mask::operator|=(const Mask &other)
+{
+    ensure(rows_ == other.rows_ && cols_ == other.cols_,
+           "Mask::operator|= shape mismatch");
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+Mask &
+Mask::operator^=(const Mask &other)
+{
+    ensure(rows_ == other.rows_ && cols_ == other.cols_,
+           "Mask::operator^= shape mismatch");
+    // Pad bits are zero on both sides, so XOR keeps the invariant.
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
 }
 
 Mask
@@ -103,8 +158,7 @@ Mask::transposed() const
 {
     Mask t(cols_, rows_);
     for (size_t r = 0; r < rows_; ++r)
-        for (size_t c = 0; c < cols_; ++c)
-            t.at(c, r) = at(r, c);
+        forEachSet(r, [&](size_t c) { t.at(c, r) = 1; });
     return t;
 }
 
@@ -114,9 +168,11 @@ applyMask(const Matrix &w, const Mask &mask)
     ensure(w.rows() == mask.rows() && w.cols() == mask.cols(),
            "applyMask shape mismatch");
     Matrix out(w.rows(), w.cols());
-    for (size_t r = 0; r < w.rows(); ++r)
-        for (size_t c = 0; c < w.cols(); ++c)
-            out.at(r, c) = mask.at(r, c) ? w.at(r, c) : 0.0f;
+    for (size_t r = 0; r < w.rows(); ++r) {
+        const std::span<const float> src = w.row(r);
+        const std::span<float> dst = out.row(r);
+        mask.forEachSet(r, [&](size_t c) { dst[c] = src[c]; });
+    }
     return out;
 }
 

@@ -78,20 +78,16 @@ obsCompensate(Matrix &w, const Mask &mask, const Matrix &hinv_upper)
            "obsCompensate: Cholesky factor must be cols x cols");
     const size_t cols = w.cols();
     for (size_t r = 0; r < w.rows(); ++r) {
-        for (size_t j = 0; j < cols; ++j) {
-            if (mask.at(r, j))
-                continue;
+        mask.forEachDropped(r, [&](size_t j) {
             const float ujj = hinv_upper.at(j, j);
             const float err = w.at(r, j) / ujj;
             w.at(r, j) = 0.0f;
             for (size_t j2 = j + 1; j2 < cols; ++j2)
                 w.at(r, j2) -= err * hinv_upper.at(j, j2);
-        }
+        });
         // Zeroing happened as we swept; re-apply the mask so later
         // compensation cannot resurrect pruned positions.
-        for (size_t j = 0; j < cols; ++j)
-            if (!mask.at(r, j))
-                w.at(r, j) = 0.0f;
+        mask.forEachDropped(r, [&](size_t j) { w.at(r, j) = 0.0f; });
     }
 }
 

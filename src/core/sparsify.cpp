@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <functional>
+#include <type_traits>
 
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -16,34 +17,57 @@ namespace {
 
 /**
  * Mark the top @p n of @p vals in @p keep (1 = kept). Deterministic
- * tie-break: higher score wins, then lower index. The comparator is a
- * strict total order, so the top-n set is unique and nth_element
- * selects exactly the set a full sort would — in linear time, without
- * ordering the survivors. @p scratch is reused across calls so
- * per-block selection never re-allocates.
+ * tie-break: higher score wins, then lower index — a strict total
+ * order, so the top-n set is unique. The selection runs value-only:
+ * nth_element over a float scratch copy finds the n-th largest score,
+ * everything strictly above it is kept, and the remaining slots go to
+ * the lowest-indexed elements tied with it. That reproduces exactly
+ * the set the index-permuting formulation selects, without the
+ * iota/indirect-comparator overhead. @p scratch is reused across calls
+ * so per-tile selection never re-allocates.
  */
 void
 selectTopN(std::span<const float> vals, size_t n, std::span<uint8_t> keep,
-           std::vector<size_t> &scratch)
+           std::vector<float> &scratch)
 {
     ensure(vals.size() == keep.size(), "selectTopN size mismatch");
-    std::fill(keep.begin(), keep.end(), uint8_t{0});
-    if (n == 0)
-        return;
     if (n >= vals.size()) {
         std::fill(keep.begin(), keep.end(), uint8_t{1});
         return;
     }
-    scratch.resize(vals.size());
-    std::iota(scratch.begin(), scratch.end(), size_t{0});
-    std::nth_element(scratch.begin(), scratch.begin() + n, scratch.end(),
-                     [&](size_t a, size_t b) {
-                         if (vals[a] != vals[b])
-                             return vals[a] > vals[b];
-                         return a < b;
-                     });
-    for (size_t i = 0; i < n; ++i)
-        keep[scratch[i]] = 1;
+    if (n == 0) {
+        std::fill(keep.begin(), keep.end(), uint8_t{0});
+        return;
+    }
+    if (n + 1 == vals.size()) {
+        // Dense end of the candidate ladder: drop only the worst
+        // element — the minimum, ties resolved to the highest index
+        // (the last element in the total order).
+        size_t worst = 0;
+        for (size_t i = 1; i < vals.size(); ++i)
+            if (vals[i] <= vals[worst])
+                worst = i;
+        std::fill(keep.begin(), keep.end(), uint8_t{1});
+        keep[worst] = 0;
+        return;
+    }
+    scratch.assign(vals.begin(), vals.end());
+    std::nth_element(scratch.begin(), scratch.begin() + (n - 1),
+                     scratch.end(), std::greater<float>());
+    const float threshold = scratch[n - 1];
+    size_t ties = n;
+    for (const float v : vals)
+        ties -= v > threshold;
+    for (size_t i = 0; i < vals.size(); ++i) {
+        // setcc for the common above/below case; scores rarely collide
+        // with the threshold exactly, so the tie branch predicts well.
+        uint8_t k = vals[i] > threshold;
+        if (vals[i] == threshold && ties > 0) {
+            k = 1;
+            --ties;
+        }
+        keep[i] = k;
+    }
 }
 
 /** Target number of kept elements for a sparsity degree. */
@@ -150,6 +174,184 @@ checkTileDivisibility(const Matrix &scores, size_t m)
               scores.rows(), scores.cols(), m);
 }
 
+/**
+ * Ranks of 8 elements (stride @p stride apart) under the selectTopN
+ * order (value desc, index asc). Each of the 28 unordered pairs is
+ * compared once: for i < j, element i precedes j iff v[i] >= v[j]
+ * (ties fall to the lower index), and exactly one of the pair gains a
+ * rank point. Fully unrolled, both the values and the rank counters
+ * stay in registers.
+ */
+inline void
+rank8(const float *p, size_t stride, uint16_t *out, size_t out_stride)
+{
+    float v[8];
+    for (size_t i = 0; i < 8; ++i)
+        v[i] = p[i * stride];
+    unsigned rk[8] = {};
+    for (size_t i = 0; i < 8; ++i)
+        for (size_t j = i + 1; j < 8; ++j) {
+            const auto ifirst = static_cast<unsigned>(v[i] >= v[j]);
+            rk[j] += ifirst;
+            rk[i] += 1u - ifirst;
+        }
+    for (size_t i = 0; i < 8; ++i)
+        out[i * out_stride] = static_cast<uint16_t>(rk[i]);
+}
+
+/**
+ * Algorithm 1 step-3 worker over block-rows [begin, end).
+ *
+ * Instead of re-running a top-N selection per (N, dim) candidate, rank
+ * every block element once within its row and its column under
+ * (score desc, index asc) — the same strict total order selectTopN
+ * uses, so "rank < N" reproduces its top-N set exactly — and build
+ * prefix-overlap tables against the unstructured mask. Each
+ * direction's L1 distance for any candidate N then reads off in O(1):
+ * dist(N) = N*m + us_nnz - 2*overlap[N].
+ *
+ * @p m is either a plain size_t or std::integral_constant<size_t, 8>:
+ * the dominant block size dispatches through the constant so every
+ * m-bounded loop unrolls and the rank comparisons vectorize.
+ */
+template <typename MT>
+void
+tbsScoreBlockRows(const Matrix &scores, const Mask &us,
+                  std::span<const uint8_t> n, size_t block_cols, MT m,
+                  size_t begin, size_t end, TbsResult &out)
+{
+    std::vector<float> blk(m * m);
+    std::vector<uint16_t> rank_row(m * m);
+    std::vector<uint16_t> rank_col(m * m);
+    std::vector<size_t> overlap_row(m + 1);
+    std::vector<size_t> overlap_col(m + 1);
+    for (size_t br = begin; br < end; ++br) {
+        for (size_t bc = 0; bc < block_cols; ++bc) {
+            const uint8_t nb = n[br * block_cols + bc];
+            for (size_t r = 0; r < m; ++r) {
+                const std::span<const float> src =
+                    scores.row(br * m + r);
+                std::copy_n(src.data() + bc * m, static_cast<size_t>(m),
+                            &blk[r * m]);
+            }
+            if constexpr (!std::is_same_v<MT, size_t>) {
+                static_assert(MT::value == 8);
+                for (size_t r = 0; r < 8; ++r)
+                    rank8(&blk[r * 8], 1, &rank_row[r * 8], 1);
+                for (size_t c = 0; c < 8; ++c)
+                    rank8(&blk[c], 8, &rank_col[c], 8);
+            } else {
+                // Bitwise |/& rather than short-circuit ||/&&: scores
+                // are effectively random, so data-dependent branches
+                // mispredict half the time.
+                for (size_t r = 0; r < m; ++r) {
+                    const float *row = &blk[r * m];
+                    for (size_t c = 0; c < m; ++c) {
+                        const float v = row[c];
+                        unsigned rk = 0;
+                        for (size_t c2 = 0; c2 < m; ++c2)
+                            rk += static_cast<unsigned>(row[c2] > v)
+                                | (static_cast<unsigned>(row[c2] == v)
+                                   & static_cast<unsigned>(c2 < c));
+                        rank_row[r * m + c] =
+                            static_cast<uint16_t>(rk);
+                    }
+                }
+                for (size_t c = 0; c < m; ++c) {
+                    for (size_t r = 0; r < m; ++r) {
+                        const float v = blk[r * m + c];
+                        unsigned rk = 0;
+                        for (size_t r2 = 0; r2 < m; ++r2)
+                            rk += static_cast<unsigned>(
+                                      blk[r2 * m + c] > v)
+                                | (static_cast<unsigned>(
+                                       blk[r2 * m + c] == v)
+                                   & static_cast<unsigned>(r2 < r));
+                        rank_col[r * m + c] =
+                            static_cast<uint16_t>(rk);
+                    }
+                }
+            }
+            // overlap_dir[k]: US-kept positions whose in-group rank is
+            // below k, i.e. |top-k mask AND us| for direction dir.
+            std::fill(overlap_row.begin(), overlap_row.end(), size_t{0});
+            std::fill(overlap_col.begin(), overlap_col.end(), size_t{0});
+            size_t us_nnz = 0;
+            for (size_t r = 0; r < m; ++r) {
+                if (m <= 64) {
+                    uint64_t bits = us.rowBits(br * m + r, bc * m, m);
+                    us_nnz +=
+                        static_cast<size_t>(std::popcount(bits));
+                    while (bits != 0) {
+                        const auto c = static_cast<size_t>(
+                            std::countr_zero(bits));
+                        bits &= bits - 1;
+                        ++overlap_row[rank_row[r * m + c] + 1];
+                        ++overlap_col[rank_col[r * m + c] + 1];
+                    }
+                } else {
+                    for (size_t c = 0; c < m; ++c) {
+                        if (us.at(br * m + r, bc * m + c)) {
+                            ++us_nnz;
+                            ++overlap_row[rank_row[r * m + c] + 1];
+                            ++overlap_col[rank_col[r * m + c] + 1];
+                        }
+                    }
+                }
+            }
+            for (size_t k = 1; k <= m; ++k) {
+                overlap_row[k] += overlap_row[k - 1];
+                overlap_col[k] += overlap_col[k - 1];
+            }
+            const size_t dist_row = nb * m + us_nnz - 2 * overlap_row[nb];
+            const size_t dist_col = nb * m + us_nnz - 2 * overlap_col[nb];
+            const bool use_row = dist_row <= dist_col;
+            const auto &rank = use_row ? rank_row : rank_col;
+            if (m <= 64) {
+                for (size_t r = 0; r < m; ++r) {
+                    uint64_t bits = 0;
+                    for (size_t c = 0; c < m; ++c)
+                        bits |= static_cast<uint64_t>(rank[r * m + c]
+                                                      < nb)
+                            << c;
+                    out.mask.setRowBits(br * m + r, bc * m, m, bits);
+                }
+            } else {
+                for (size_t r = 0; r < m; ++r)
+                    for (size_t c = 0; c < m; ++c)
+                        out.mask.at(br * m + r, bc * m + c) =
+                            static_cast<uint8_t>(rank[r * m + c] < nb);
+            }
+            out.meta.block(br, bc) = {nb, use_row
+                                              ? SparsityDim::Reduction
+                                              : SparsityDim::Independent};
+        }
+    }
+}
+
+/** Pack one row tile of 0/1 bytes into the mask (len <= 64). */
+void
+packTile(Mask &mask, size_t r, size_t c0, std::span<const uint8_t> keep)
+{
+    uint64_t bits = 0;
+    for (size_t i = 0; i < keep.size(); ++i)
+        bits |= static_cast<uint64_t>(keep[i] != 0) << i;
+    mask.setRowBits(r, c0, keep.size(), bits);
+}
+
+/** Pack a row-major 0/1 byte image into the mask, 64 bytes per step. */
+void
+packBytes(Mask &mask, std::span<const uint8_t> keep)
+{
+    for (size_t r = 0; r < mask.rows(); ++r) {
+        const uint8_t *src = keep.data() + r * mask.cols();
+        for (size_t c0 = 0; c0 < mask.cols(); c0 += 64) {
+            const size_t len = std::min<size_t>(64, mask.cols() - c0);
+            packTile(mask, r, c0, {src + c0, len});
+        }
+    }
+}
+
 } // namespace
 
 Mask
@@ -158,11 +360,9 @@ usMask(const Matrix &scores, double sparsity)
     const size_t k = targetNnz(scores.size(), sparsity);
     Mask mask(scores.rows(), scores.cols());
     std::vector<uint8_t> keep(scores.size());
-    std::vector<size_t> scratch;
+    std::vector<float> scratch;
     selectTopN(scores.data(), k, keep, scratch);
-    for (size_t r = 0; r < scores.rows(); ++r)
-        for (size_t c = 0; c < scores.cols(); ++c)
-            mask.at(r, c) = keep[r * scores.cols() + c];
+    packBytes(mask, keep);
     return mask;
 }
 
@@ -174,14 +374,17 @@ tsMask(const Matrix &scores, size_t n, size_t m)
     Mask mask(scores.rows(), scores.cols());
     std::vector<float> tile(m);
     std::vector<uint8_t> keep(m);
-    std::vector<size_t> scratch;
+    std::vector<float> scratch;
     for (size_t r = 0; r < scores.rows(); ++r) {
         for (size_t t = 0; t < scores.cols(); t += m) {
             for (size_t i = 0; i < m; ++i)
                 tile[i] = scores.at(r, t + i);
             selectTopN(tile, n, keep, scratch);
-            for (size_t i = 0; i < m; ++i)
-                mask.at(r, t + i) = keep[i];
+            if (m <= 64)
+                packTile(mask, r, t, keep);
+            else
+                for (size_t i = 0; i < m; ++i)
+                    mask.at(r, t + i) = keep[i];
         }
     }
     return mask;
@@ -199,8 +402,9 @@ rsvMask(const Matrix &scores, double sparsity, size_t m,
     std::vector<FitUnit> units(scores.rows());
     for (size_t r = 0; r < scores.rows(); ++r) {
         size_t row_nnz = 0;
-        for (size_t c = 0; c < scores.cols(); ++c)
-            row_nnz += us.at(r, c);
+        for (size_t c = 0; c < scores.cols(); c += 64)
+            row_nnz += us.rangeNnz(
+                r, c, std::min<size_t>(64, scores.cols() - c));
         units[r] = {static_cast<double>(row_nnz), groups};
     }
     const std::vector<uint8_t> n = fitCounts(units, candidates, target);
@@ -208,14 +412,17 @@ rsvMask(const Matrix &scores, double sparsity, size_t m,
     Mask mask(scores.rows(), scores.cols());
     std::vector<float> tile(m);
     std::vector<uint8_t> keep(m);
-    std::vector<size_t> scratch;
+    std::vector<float> scratch;
     for (size_t r = 0; r < scores.rows(); ++r) {
         for (size_t t = 0; t < scores.cols(); t += m) {
             for (size_t i = 0; i < m; ++i)
                 tile[i] = scores.at(r, t + i);
             selectTopN(tile, n[r], keep, scratch);
-            for (size_t i = 0; i < m; ++i)
-                mask.at(r, t + i) = keep[i];
+            if (m <= 64)
+                packTile(mask, r, t, keep);
+            else
+                for (size_t i = 0; i < m; ++i)
+                    mask.at(r, t + i) = keep[i];
         }
     }
     return mask;
@@ -249,8 +456,10 @@ rshMask(const Matrix &scores, double sparsity, size_t m,
             s.tile0 = t0;
             s.tiles = std::min(m, tiles_per_row - t0);
             s.us_nnz = 0;
-            for (size_t c = t0 * m; c < (t0 + s.tiles) * m; ++c)
-                s.us_nnz += us.at(r, c);
+            for (size_t c = t0 * m; c < (t0 + s.tiles) * m; c += 64)
+                s.us_nnz += us.rangeNnz(
+                    r, c,
+                    std::min<size_t>(64, (t0 + s.tiles) * m - c));
             // Inner density from the average kept-per-surviving-tile:
             // dense inner tiles when the super-group is lightly pruned.
             const double density = static_cast<double>(s.us_nnz)
@@ -309,7 +518,7 @@ rshMask(const Matrix &scores, double sparsity, size_t m,
     Mask mask(scores.rows(), scores.cols());
     std::vector<float> tile(m);
     std::vector<uint8_t> keep(m);
-    std::vector<size_t> scratch;
+    std::vector<float> scratch;
     for (size_t u = 0; u < supers.size(); ++u) {
         const Super &s = supers[u];
         std::vector<std::pair<double, size_t>> mass(s.tiles);
@@ -330,8 +539,11 @@ rshMask(const Matrix &scores, double sparsity, size_t m,
             for (size_t i = 0; i < m; ++i)
                 tile[i] = scores.at(s.row, (s.tile0 + t) * m + i);
             selectTopN(tile, s.n0, keep, scratch);
-            for (size_t i = 0; i < m; ++i)
-                mask.at(s.row, (s.tile0 + t) * m + i) = keep[i];
+            if (m <= 64)
+                packTile(mask, s.row, (s.tile0 + t) * m, keep);
+            else
+                for (size_t i = 0; i < m; ++i)
+                    mask.at(s.row, (s.tile0 + t) * m + i) = keep[i];
         }
     }
     return mask;
@@ -353,15 +565,17 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
     // density scan parallelizes; the largest-remainder promotion pass
     // inside fitCounts is a global ordered pass and stays serial.
     std::vector<FitUnit> units(block_rows * block_cols);
-    util::parallelFor(units.size(), 0, [&](size_t begin, size_t end) {
-        for (size_t u = begin; u < end; ++u) {
-            const size_t br = u / block_cols;
-            const size_t bc = u % block_cols;
-            size_t nnz = 0;
-            for (size_t r = 0; r < m; ++r)
-                for (size_t c = 0; c < m; ++c)
-                    nnz += us.at(br * m + r, bc * m + c);
-            units[u] = {static_cast<double>(nnz), m};
+    util::parallelFor(block_rows, 0, [&](size_t begin, size_t end) {
+        for (size_t br = begin; br < end; ++br) {
+            for (size_t bc = 0; bc < block_cols; ++bc) {
+                size_t nnz = 0;
+                for (size_t r = 0; r < m; ++r)
+                    for (size_t c0 = 0; c0 < m; c0 += 64)
+                        nnz += us.rangeNnz(br * m + r, bc * m + c0,
+                                           std::min<size_t>(64, m - c0));
+                units[br * block_cols + bc] =
+                    {static_cast<double>(nnz), m};
+            }
         }
     });
     const std::vector<uint8_t> n = fitCounts(units, candidates, target);
@@ -375,57 +589,21 @@ tbsMask(const Matrix &scores, double sparsity, size_t m,
     out.meta.blockCols = block_cols;
     out.meta.blocks.resize(block_rows * block_cols);
 
-    // Each block's (N, dim) choice is independent and its mask cells
-    // are disjoint, so blocks score and materialize in parallel.
-    util::parallelFor(
-        block_rows * block_cols, 0, [&](size_t begin, size_t end) {
-        std::vector<float> line(m);
-        std::vector<uint8_t> keep(m);
-        std::vector<uint8_t> row_mask(m * m);
-        std::vector<uint8_t> col_mask(m * m);
-        std::vector<size_t> scratch;
-        for (size_t u = begin; u < end; ++u) {
-            const size_t br = u / block_cols;
-            const size_t bc = u % block_cols;
-            const uint8_t nb = n[u];
-
-            // Reduction direction: top-N per row of the block.
-            for (size_t r = 0; r < m; ++r) {
-                for (size_t c = 0; c < m; ++c)
-                    line[c] = scores.at(br * m + r, bc * m + c);
-                selectTopN(line, nb, keep, scratch);
-                for (size_t c = 0; c < m; ++c)
-                    row_mask[r * m + c] = keep[c];
-            }
-            // Independent direction: top-N per column of the block.
-            for (size_t c = 0; c < m; ++c) {
-                for (size_t r = 0; r < m; ++r)
-                    line[r] = scores.at(br * m + r, bc * m + c);
-                selectTopN(line, nb, keep, scratch);
-                for (size_t r = 0; r < m; ++r)
-                    col_mask[r * m + c] = keep[r];
-            }
-
-            size_t dist_row = 0;
-            size_t dist_col = 0;
-            for (size_t r = 0; r < m; ++r) {
-                for (size_t c = 0; c < m; ++c) {
-                    const uint8_t u8 = us.at(br * m + r, bc * m + c);
-                    dist_row += row_mask[r * m + c] != u8;
-                    dist_col += col_mask[r * m + c] != u8;
-                }
-            }
-            const bool use_row = dist_row <= dist_col;
-            const auto &chosen = use_row ? row_mask : col_mask;
-            for (size_t r = 0; r < m; ++r)
-                for (size_t c = 0; c < m; ++c)
-                    out.mask.at(br * m + r, bc * m + c) =
-                        chosen[r * m + c];
-            out.meta.block(br, bc) = {
-                nb, use_row ? SparsityDim::Reduction
-                            : SparsityDim::Independent};
-        }
+    // Workers own whole block-rows: different block-rows never share a
+    // packed mask word, so the parallel materialization stays race-free
+    // and index-addressed (bit-identical at any thread count). The
+    // per-block scoring itself lives in tbsScoreBlockRows.
+    util::parallelFor(block_rows, 0, [&](size_t begin, size_t end) {
+        if (m == 8)
+            tbsScoreBlockRows(scores, us, n, block_cols,
+                              std::integral_constant<size_t, 8>{},
+                              begin, end, out);
+        else
+            tbsScoreBlockRows(scores, us, n, block_cols, m, begin, end,
+                              out);
     });
+    // One word-wise XOR/popcount pass; maskSimilarity consumes this.
+    out.usHamming = out.mask.hamming(us);
     return out;
 }
 

@@ -28,6 +28,13 @@ struct TbsResult
 {
     Mask mask;
     TbsMeta meta;
+    /**
+     * Hamming distance between the TBS mask and the unstructured mask
+     * of Algorithm 1 step 1 — a free by-product of the per-block
+     * direction scoring. workload::maskSimilarity derives the paper's
+     * mask-similarity metric from it without re-running usMask.
+     */
+    size_t usHamming = 0;
 };
 
 /** Unstructured mask: keep the global top-k scores. */

@@ -1,6 +1,7 @@
 #include "encoding.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "util/logging.hpp"
@@ -107,10 +108,10 @@ class SdcEncoding final : public Encoding
         size_t max_nnz = 0;
         std::vector<std::vector<std::pair<uint16_t, float>>> row_data(rows_);
         for (size_t r = 0; r < rows_; ++r) {
-            for (size_t c = 0; c < cols_; ++c)
-                if (mask.at(r, c))
-                    row_data[r].emplace_back(static_cast<uint16_t>(c),
-                                             w.at(r, c));
+            mask.forEachSet(r, [&](size_t c) {
+                row_data[r].emplace_back(static_cast<uint16_t>(c),
+                                         w.at(r, c));
+            });
             max_nnz = std::max(max_nnz, row_data[r].size());
             nnz_ += row_data[r].size();
         }
@@ -181,12 +182,10 @@ class CsrEncoding final : public Encoding
                "CSR mask shape mismatch");
         row_ptr_.push_back(0);
         for (size_t r = 0; r < rows_; ++r) {
-            for (size_t c = 0; c < cols_; ++c) {
-                if (mask.at(r, c)) {
-                    col_idx_.push_back(static_cast<uint16_t>(c));
-                    values_.push_back(w.at(r, c));
-                }
-            }
+            mask.forEachSet(r, [&](size_t c) {
+                col_idx_.push_back(static_cast<uint16_t>(c));
+                values_.push_back(w.at(r, c));
+            });
             row_ptr_.push_back(static_cast<uint32_t>(col_idx_.size()));
         }
     }
@@ -274,15 +273,34 @@ class DdcEncoding final : public Encoding
                 // which TBS generation never produces).
                 for (size_t g = 0; g < m; ++g) {
                     size_t emitted = 0;
-                    for (size_t e = 0; e < m && emitted < info.n; ++e) {
-                        const size_t r = info.dim == SparsityDim::Reduction
-                            ? g : e;
-                        const size_t c = info.dim == SparsityDim::Reduction
-                            ? e : g;
-                        if (mask.at(br * m + r, bc * m + c)) {
-                            values_.push_back(w.at(br * m + r, bc * m + c));
+                    if (info.dim == SparsityDim::Reduction && m <= 64) {
+                        // Row group: grab the block row's bits in one
+                        // word and walk only the set positions.
+                        uint64_t bits =
+                            mask.rowBits(br * m + g, bc * m, m);
+                        while (bits != 0 && emitted < info.n) {
+                            const auto e = static_cast<size_t>(
+                                std::countr_zero(bits));
+                            bits &= bits - 1;
+                            values_.push_back(
+                                w.at(br * m + g, bc * m + e));
                             intra_idx_.push_back(static_cast<uint8_t>(e));
                             ++emitted;
+                        }
+                    } else {
+                        for (size_t e = 0; e < m && emitted < info.n;
+                             ++e) {
+                            const size_t r =
+                                info.dim == SparsityDim::Reduction ? g : e;
+                            const size_t c =
+                                info.dim == SparsityDim::Reduction ? e : g;
+                            if (mask.at(br * m + r, bc * m + c)) {
+                                values_.push_back(
+                                    w.at(br * m + r, bc * m + c));
+                                intra_idx_.push_back(
+                                    static_cast<uint8_t>(e));
+                                ++emitted;
+                            }
                         }
                     }
                     for (; emitted < info.n; ++emitted) {
@@ -375,13 +393,11 @@ class BitmapEncoding final : public Encoding
                "Bitmap mask shape mismatch");
         bits_.assign((rows_ * cols_ + 7) / 8, 0);
         for (size_t r = 0; r < rows_; ++r) {
-            for (size_t c = 0; c < cols_; ++c) {
-                if (mask.at(r, c)) {
-                    const size_t pos = r * cols_ + c;
-                    bits_[pos / 8] |= static_cast<uint8_t>(1u << (pos % 8));
-                    values_.push_back(w.at(r, c));
-                }
-            }
+            mask.forEachSet(r, [&](size_t c) {
+                const size_t pos = r * cols_ + c;
+                bits_[pos / 8] |= static_cast<uint8_t>(1u << (pos % 8));
+                values_.push_back(w.at(r, c));
+            });
         }
     }
 

@@ -116,7 +116,7 @@ Conv2dLayer::sgdStep(double lr, double momentum, double pruned_decay)
 {
     for (size_t i = 0; i < w_.size(); ++i) {
         double g = gradW_.data()[i];
-        if (masked_ && pruned_decay > 0.0 && !mask_.data()[i])
+        if (masked_ && pruned_decay > 0.0 && !mask_.bit(i))
             g += pruned_decay * w_.data()[i];
         velocityW_.data()[i] = static_cast<float>(
             momentum * velocityW_.data()[i] - lr * g);

@@ -175,7 +175,7 @@ Mlp::sgdStep(double lr, double momentum, double prunedDecay)
         for (size_t i = 0; i < layer.w.size(); ++i) {
             double g = layer.gradW.data()[i];
             if (layer.masked && prunedDecay > 0.0
-                && !layer.mask.data()[i]) {
+                && !layer.mask.bit(i)) {
                 // SR-STE: decay pruned weights toward zero so the mask
                 // and the dense weights agree at convergence.
                 g += prunedDecay * layer.w.data()[i];

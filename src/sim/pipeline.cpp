@@ -4,11 +4,15 @@
 #include <cmath>
 #include <vector>
 
+#include <optional>
+
 #include "dram.hpp"
 #include "dvpe.hpp"
 #include "obs/obs.hpp"
 #include "scheduler.hpp"
+#include "util/contentstore.hpp"
 #include "util/fmt.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::sim {
@@ -82,9 +86,12 @@ RunStats::scaled(double k) const
     return out;
 }
 
+namespace {
+
+/** The full pipeline model, always computed fresh. No telemetry. */
 RunStats
-simulateLayer(const LayerProfile &layer, const ArchConfig &cfg,
-              const EnergyParams &energy, const RunOptions &opts)
+simulateLayerUncached(const LayerProfile &layer, const ArchConfig &cfg,
+                      const EnergyParams &energy, const RunOptions &opts)
 {
     util::ensure(layer.m > 0 && layer.nb > 0, "degenerate layer");
     const double scale = layer.sampleScale;
@@ -193,6 +200,27 @@ simulateLayer(const LayerProfile &layer, const ArchConfig &cfg,
     out.computeUtilisation = lane_cycles > 0.0 ? macs / lane_cycles : 0.0;
     out.schedUtilisation = sched.utilisation;
 
+    return out;
+}
+
+/**
+ * Pipeline-level telemetry for one simulated (or cache-replayed)
+ * layer. Everything recorded here derives from the RunStats breakdown
+ * and the layer geometry, so a sim-cache hit replays exactly the
+ * counters a fresh simulation would have recorded — the headline
+ * sim.pipeline.* metrics stay workload-accurate however the result
+ * was produced. (Interior counters — sim.dram.*, sim.sched.* — only
+ * record on a fresh compute; single-flight keeps that deterministic.)
+ */
+void
+recordPipelineTelemetry(const LayerProfile &layer, const RunStats &out)
+{
+    const double compute_cycles = out.breakdown.compute;
+    const double mem_cycles = out.breakdown.memory;
+    const double codec_cycles = out.breakdown.codec;
+    const double exposed = out.breakdown.codecExposed;
+    const double bottleneck = std::max(compute_cycles, mem_cycles);
+    const double macs = layer.usefulMacs();
     if (obs::metricsEnabled()) {
         static const obs::Counter layers =
             obs::counter("sim.pipeline.layers");
@@ -234,6 +262,145 @@ simulateLayer(const LayerProfile &layer, const ArchConfig &cfg,
         obs::simSpan(track, 3, "codec.exposed",
                      kStartupCycles + bottleneck, exposed);
     }
+}
+
+/**
+ * Content key of one simulation. The full ordered block stream feeds
+ * the hash (block order affects scheduling, so a histogram is not
+ * enough), together with every ArchConfig field except hostThreads —
+ * host parallelism never changes results — all EnergyParams, and the
+ * run options.
+ */
+uint64_t
+simCacheKey(const LayerProfile &layer, const ArchConfig &cfg,
+            const EnergyParams &energy, const RunOptions &opts)
+{
+    util::Hasher h;
+    h.str("tbstc.cache.sim.v1");
+    h.u64(layer.x).u64(layer.y).u64(layer.nb).u64(layer.m);
+    h.u64(layer.aNnz).f64(layer.sampleScale);
+    h.u64(layer.aStream.payloadBytes);
+    h.u64(layer.aStream.usefulBytes);
+    h.u64(layer.aStream.segments);
+    h.u64(layer.blocks.size());
+    for (const BlockTask &b : layer.blocks)
+        h.u64(static_cast<uint64_t>(b.nnz)
+              | static_cast<uint64_t>(b.n) << 16
+              | static_cast<uint64_t>(b.independentDim ? 1 : 0) << 24
+              | static_cast<uint64_t>(b.nonemptyRows) << 32);
+    h.u64(cfg.dvpeArrays).u64(cfg.dvpesPerArray).u64(cfg.lanesPerDvpe);
+    h.f64(cfg.clockGhz).f64(cfg.dramGbps).u64(cfg.onchipKb);
+    h.u64(cfg.codecUnit ? 1 : 0).u64(cfg.mbdUnit ? 1 : 0);
+    h.u64(cfg.alternateUnit ? 1 : 0);
+    h.u64(static_cast<uint64_t>(cfg.interSched));
+    h.u64(static_cast<uint64_t>(cfg.intraMap));
+    h.u64(cfg.schedLookahead);
+    h.f64(cfg.computeEnergyScale).f64(cfg.extraStaticW);
+    h.f64(cfg.beatOverheadScale);
+    h.u64(cfg.elementGranular ? 1 : 0);
+    h.f64(energy.macFp16Pj).f64(energy.macInt8Pj).f64(energy.sramBytePj);
+    h.f64(energy.dramBytePj).f64(energy.codecElemPj).f64(energy.mbdElemPj);
+    h.f64(energy.dvpeStaticMw).f64(energy.codecStaticMw);
+    h.f64(energy.mbdStaticMw);
+    h.u64(opts.int8Weights ? 1 : 0);
+    return h.digest();
+}
+
+std::vector<uint8_t>
+serializeStats(const RunStats &s)
+{
+    util::ByteWriter w;
+    w.f64(s.cycles);
+    w.f64(s.seconds);
+    w.f64(s.energy.computeJ);
+    w.f64(s.energy.sramJ);
+    w.f64(s.energy.dramJ);
+    w.f64(s.energy.codecJ);
+    w.f64(s.energy.mbdJ);
+    w.f64(s.energy.staticJ);
+    w.f64(s.edp);
+    w.f64(s.breakdown.compute);
+    w.f64(s.breakdown.memory);
+    w.f64(s.breakdown.codec);
+    w.f64(s.breakdown.codecExposed);
+    w.f64(s.breakdown.startup);
+    w.f64(s.breakdown.total);
+    w.f64(s.bwUtilisation);
+    w.f64(s.computeUtilisation);
+    w.f64(s.schedUtilisation);
+    return w.bytes();
+}
+
+std::optional<RunStats>
+deserializeStats(std::span<const uint8_t> bytes)
+{
+    util::ByteReader r(bytes);
+    RunStats s;
+    s.cycles = r.f64();
+    s.seconds = r.f64();
+    s.energy.computeJ = r.f64();
+    s.energy.sramJ = r.f64();
+    s.energy.dramJ = r.f64();
+    s.energy.codecJ = r.f64();
+    s.energy.mbdJ = r.f64();
+    s.energy.staticJ = r.f64();
+    s.edp = r.f64();
+    s.breakdown.compute = r.f64();
+    s.breakdown.memory = r.f64();
+    s.breakdown.codec = r.f64();
+    s.breakdown.codecExposed = r.f64();
+    s.breakdown.startup = r.f64();
+    s.breakdown.total = r.f64();
+    s.bwUtilisation = r.f64();
+    s.computeUtilisation = r.f64();
+    s.schedUtilisation = r.f64();
+    if (!r.done())
+        return std::nullopt;
+    return s;
+}
+
+/** Host-domain cache telemetry (hit patterns are schedule-dependent). */
+void
+countSimCache(util::CacheOutcome outcome)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const obs::Counter hits =
+        obs::counter("cache.sim.hits", obs::Domain::Host);
+    static const obs::Counter disk_hits =
+        obs::counter("cache.sim.disk_hits", obs::Domain::Host);
+    static const obs::Counter misses =
+        obs::counter("cache.sim.misses", obs::Domain::Host);
+    switch (outcome) {
+      case util::CacheOutcome::MemoryHit: hits.add(); break;
+      case util::CacheOutcome::DiskHit:   disk_hits.add(); break;
+      case util::CacheOutcome::Computed:  misses.add(); break;
+      case util::CacheOutcome::Disabled:  break;
+    }
+}
+
+} // namespace
+
+RunStats
+simulateLayer(const LayerProfile &layer, const ArchConfig &cfg,
+              const EnergyParams &energy, const RunOptions &opts)
+{
+    util::ContentStore &store = util::ContentStore::instance();
+    if (store.enabled()) {
+        const uint64_t key = simCacheKey(layer, cfg, energy, opts);
+        auto [bytes, outcome] = store.getOrCompute("sim", key, [&] {
+            return serializeStats(
+                simulateLayerUncached(layer, cfg, energy, opts));
+        });
+        countSimCache(outcome);
+        if (const auto stats = deserializeStats(bytes)) {
+            recordPipelineTelemetry(layer, *stats);
+            return *stats;
+        }
+        util::warn("sim cache payload undecodable; recomputing");
+    }
+    const RunStats out = simulateLayerUncached(layer, cfg, energy, opts);
+    recordPipelineTelemetry(layer, out);
     return out;
 }
 

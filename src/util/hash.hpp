@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Streaming 64-bit content hashing for cache keys.
+ *
+ * Hasher is FNV-1a over an explicit field stream with a splitmix64
+ * avalanche finalizer. Callers feed each field individually (never
+ * whole structs — struct padding bytes are indeterminate), so two keys
+ * collide only when every hashed field matches. The digest is stable
+ * across platforms of equal endianness and across runs; it is a cache
+ * key, not a cryptographic commitment.
+ */
+
+#ifndef TBSTC_UTIL_HASH_HPP
+#define TBSTC_UTIL_HASH_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace tbstc::util {
+
+/** Accumulates typed fields into one 64-bit digest. */
+class Hasher
+{
+  public:
+    /** Mix @p data's raw bytes. */
+    Hasher &
+    bytes(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x00000100000001b3ull; // FNV-1a prime.
+        }
+        return *this;
+    }
+
+    Hasher &
+    u64(uint64_t v)
+    {
+        return bytes(&v, sizeof v);
+    }
+
+    /** Doubles hash by bit pattern, so -0.0 != 0.0 and NaNs are stable. */
+    Hasher &
+    f64(double v)
+    {
+        return u64(std::bit_cast<uint64_t>(v));
+    }
+
+    /** Length-prefixed, so ("ab","c") never collides with ("a","bc"). */
+    Hasher &
+    str(std::string_view s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    Hasher &
+    span(std::span<const uint8_t> s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    /** Finalize: avalanche so near-equal streams spread across buckets. */
+    uint64_t
+    digest() const
+    {
+        uint64_t z = h_ + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+};
+
+} // namespace tbstc::util
+
+#endif // TBSTC_UTIL_HASH_HPP

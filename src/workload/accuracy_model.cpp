@@ -99,10 +99,22 @@ maskSimilarity(Pattern pattern, double sparsity, size_t m, uint64_t seed)
         synthWeights({"similarity-probe", kDim, kDim, 1}, seed);
     const core::Matrix scores = core::magnitudeScores(w);
     const auto cand = core::defaultCandidates(m);
-    const core::Mask us = core::usMask(scores, sparsity);
-    const core::Mask pat =
-        core::patternMask(pattern, scores, sparsity, m, cand);
-    const double sim = pat.agreement(us);
+    double sim;
+    if (pattern == Pattern::TBS) {
+        // tbsMask already measures its distance to the step-1
+        // unstructured mask; agreement = (size - hamming) / size is
+        // the identical integer arithmetic, without a second usMask.
+        const core::TbsResult res =
+            core::tbsMask(scores, sparsity, m, cand);
+        const size_t total = res.mask.size();
+        sim = static_cast<double>(total - res.usHamming)
+            / static_cast<double>(total);
+    } else {
+        const core::Mask us = core::usMask(scores, sparsity);
+        const core::Mask pat =
+            core::patternMask(pattern, scores, sparsity, m, cand);
+        sim = pat.agreement(us);
+    }
     const std::lock_guard lk(cache_m);
     return cache.emplace(key, sim).first->second;
 }

@@ -1,10 +1,14 @@
 #include "profile_builder.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
+#include "obs/obs.hpp"
 #include "synth.hpp"
+#include "util/contentstore.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -45,8 +49,129 @@ deriveMeta(const Mask &mask, size_t m)
     return meta;
 }
 
+namespace {
+
+/**
+ * Content key of one profile build. Every ProfileSpec field feeds the
+ * hash (the build is a pure function of the spec), plus a schema tag
+ * so a payload-layout change can never be misread by an older binary.
+ */
+uint64_t
+profileCacheKey(const ProfileSpec &spec)
+{
+    util::Hasher h;
+    h.str("tbstc.cache.profile.v1");
+    h.str(spec.shape.name);
+    h.u64(spec.shape.x).u64(spec.shape.y).u64(spec.shape.nb);
+    h.u64(static_cast<uint64_t>(spec.pattern));
+    h.f64(spec.sparsity);
+    h.u64(spec.m);
+    h.u64(static_cast<uint64_t>(spec.fmt));
+    h.u64(spec.densifyIndependent ? 1 : 0);
+    h.u64(spec.seed);
+    h.u64(spec.maxElements);
+    return h.digest();
+}
+
+std::vector<uint8_t>
+serializeProfile(const LayerProfile &p)
+{
+    util::ByteWriter w;
+    w.u64(p.x);
+    w.u64(p.y);
+    w.u64(p.nb);
+    w.u64(p.m);
+    w.u64(p.aNnz);
+    w.f64(p.sampleScale);
+    w.u64(p.aStream.payloadBytes);
+    w.u64(p.aStream.usefulBytes);
+    w.u64(p.aStream.segments);
+    w.u64(p.blocks.size());
+    for (const BlockTask &b : p.blocks) {
+        w.u16(b.nnz);
+        w.u8(b.n);
+        w.u8(b.independentDim ? 1 : 0);
+        w.u8(b.nonemptyRows);
+    }
+    return w.bytes();
+}
+
+std::optional<LayerProfile>
+deserializeProfile(std::span<const uint8_t> bytes)
+{
+    util::ByteReader r(bytes);
+    LayerProfile p;
+    p.x = r.u64();
+    p.y = r.u64();
+    p.nb = r.u64();
+    p.m = r.u64();
+    p.aNnz = r.u64();
+    p.sampleScale = r.f64();
+    p.aStream.payloadBytes = r.u64();
+    p.aStream.usefulBytes = r.u64();
+    p.aStream.segments = r.u64();
+    const uint64_t blocks = r.u64();
+    if (!r.ok() || blocks > bytes.size()) // Each block is >= 1 byte.
+        return std::nullopt;
+    p.blocks.resize(blocks);
+    for (auto &b : p.blocks) {
+        b.nnz = r.u16();
+        b.n = r.u8();
+        b.independentDim = r.u8() != 0;
+        b.nonemptyRows = r.u8();
+    }
+    if (!r.done())
+        return std::nullopt;
+    return p;
+}
+
+/** Host-domain cache telemetry (hit patterns are schedule-dependent). */
+void
+countProfileCache(util::CacheOutcome outcome)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static const obs::Counter hits =
+        obs::counter("cache.profile.hits", obs::Domain::Host);
+    static const obs::Counter disk_hits =
+        obs::counter("cache.profile.disk_hits", obs::Domain::Host);
+    static const obs::Counter misses =
+        obs::counter("cache.profile.misses", obs::Domain::Host);
+    switch (outcome) {
+      case util::CacheOutcome::MemoryHit: hits.add(); break;
+      case util::CacheOutcome::DiskHit:   disk_hits.add(); break;
+      case util::CacheOutcome::Computed:  misses.add(); break;
+      case util::CacheOutcome::Disabled:  break;
+    }
+}
+
+LayerProfile buildLayerProfileUncached(const ProfileSpec &spec);
+
+} // namespace
+
 LayerProfile
 buildLayerProfile(const ProfileSpec &spec)
+{
+    util::ContentStore &store = util::ContentStore::instance();
+    if (!store.enabled())
+        return buildLayerProfileUncached(spec);
+    const uint64_t key = profileCacheKey(spec);
+    auto [bytes, outcome] = store.getOrCompute(
+        "profile", key,
+        [&] { return serializeProfile(buildLayerProfileUncached(spec)); });
+    countProfileCache(outcome);
+    if (auto profile = deserializeProfile(bytes))
+        return std::move(*profile);
+    // Defensive: an undecodable payload (e.g. a hash collision across
+    // schema revisions) falls back to a fresh build.
+    util::warn("profile cache payload undecodable; rebuilding");
+    return buildLayerProfileUncached(spec);
+}
+
+namespace {
+
+LayerProfile
+buildLayerProfileUncached(const ProfileSpec &spec)
 {
     const size_t m = spec.m;
     const GemmShape &shape = spec.shape;
@@ -154,5 +279,7 @@ buildLayerProfile(const ProfileSpec &spec)
     profile.aStream = enc->streamProfile(m);
     return profile;
 }
+
+} // namespace
 
 } // namespace tbstc::workload

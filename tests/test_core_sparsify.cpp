@@ -201,9 +201,7 @@ TEST(TbsMask, DirectionChoiceMinimizesL1)
     const TbsResult res = tbsMask(s, 0.5, 8, cand);
 
     // Distance of chosen TBS mask.
-    size_t chosen_dist = 0;
-    for (size_t i = 0; i < us.data().size(); ++i)
-        chosen_dist += us.data()[i] != res.mask.data()[i];
+    const size_t chosen_dist = us.hamming(res.mask);
 
     // Distance if every block used the reduction direction with the
     // same per-block N: rebuild via tsMask-like per-block top-N.
@@ -227,9 +225,7 @@ TEST(TbsMask, DirectionChoiceMinimizesL1)
             }
         }
     }
-    size_t forced_dist = 0;
-    for (size_t i = 0; i < us.data().size(); ++i)
-        forced_dist += us.data()[i] != forced.data()[i];
+    const size_t forced_dist = us.hamming(forced);
     EXPECT_LE(chosen_dist, forced_dist);
 }
 

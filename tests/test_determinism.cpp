@@ -63,7 +63,9 @@ TEST(Golden, TbsMaskHash)
     const auto w = workload::synthWeights({"golden", 64, 64, 1}, 7);
     const auto res = core::tbsMask(core::magnitudeScores(w), 0.75, 8,
                                    core::defaultCandidates(8));
-    EXPECT_EQ(hashBytes(res.mask.data()), 0x9bd674c42093ae19ull);
+    const auto bytes = res.mask.toBytes();
+    EXPECT_EQ(hashBytes(std::span<const uint8_t>(bytes)),
+              0x9bd674c42093ae19ull);
     EXPECT_EQ(res.mask.nnz(), 1024u);
 }
 
@@ -125,7 +127,9 @@ TEST(Golden, TbsMaskBitIdenticalAcrossThreadCounts)
         util::ThreadScope scope(threads);
         const auto res =
             core::tbsMask(scores, 0.75, 8, core::defaultCandidates(8));
-        EXPECT_EQ(hashBytes(res.mask.data()), 0x9bd674c42093ae19ull)
+        const auto bytes = res.mask.toBytes();
+        EXPECT_EQ(hashBytes(std::span<const uint8_t>(bytes)),
+                  0x9bd674c42093ae19ull)
             << "threads=" << threads;
         EXPECT_EQ(res.mask.nnz(), 1024u);
     }

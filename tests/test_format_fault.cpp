@@ -15,13 +15,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
 #include "format/serialize.hpp"
+#include "util/contentstore.hpp"
 #include "util/faultinject.hpp"
 #include "util/logging.hpp"
+#include "workload/profile_builder.hpp"
 #include "workload/synth.hpp"
 
 namespace {
@@ -407,6 +412,140 @@ TEST(FaultGolden, EmptyAndTinyStreams)
     expectError({0x44, 0x44, 0x43, 0x32}, DecodeErrorKind::Truncated,
                 "magic only");
     expectError({0, 0, 0, 0}, DecodeErrorKind::BadMagic, "zero magic");
+}
+
+// ---------------------------------------------------------------------
+// On-disk profile-cache blobs get the same treatment as DDC streams:
+// any corruption must be rejected and the result recomputed, never
+// trusted. The sweep drives the real end-to-end path — corrupt the
+// file, invalidate the memory map, rebuild through the public API —
+// and asserts the returned profile is always the uncorrupted one.
+// ---------------------------------------------------------------------
+
+std::vector<uint8_t>
+readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        util::panic("cannot read '{}'", path);
+    std::vector<uint8_t> bytes;
+    uint8_t buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + got);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeAll(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        util::panic("cannot write '{}'", path);
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+        util::panic("short write '{}'", path);
+    std::fclose(f);
+}
+
+bool
+sameProfile(const sim::LayerProfile &a, const sim::LayerProfile &b)
+{
+    if (a.x != b.x || a.y != b.y || a.nb != b.nb || a.m != b.m
+        || a.aNnz != b.aNnz || a.sampleScale != b.sampleScale
+        || a.aStream.payloadBytes != b.aStream.payloadBytes
+        || a.aStream.usefulBytes != b.aStream.usefulBytes
+        || a.aStream.segments != b.aStream.segments
+        || a.blocks.size() != b.blocks.size())
+        return false;
+    for (size_t i = 0; i < a.blocks.size(); ++i)
+        if (a.blocks[i].nnz != b.blocks[i].nnz
+            || a.blocks[i].n != b.blocks[i].n
+            || a.blocks[i].independentDim != b.blocks[i].independentDim
+            || a.blocks[i].nonemptyRows != b.blocks[i].nonemptyRows)
+            return false;
+    return true;
+}
+
+TEST(FaultSweep, CacheBlobsNeverTrusted)
+{
+    util::ContentStore &store = util::ContentStore::instance();
+    const std::string dir = testing::TempDir() + "tbstc-fault-cache";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    store.setEnabled(true);
+    store.setDiskDir(dir);
+    store.clearMemory();
+
+    workload::ProfileSpec spec;
+    spec.shape = {"fault-cache", 64, 128, 16};
+    spec.sparsity = 0.75;
+    spec.seed = 17;
+
+    // Cold build files the blob; the uncached result is the oracle.
+    const sim::LayerProfile reference = workload::buildLayerProfile(spec);
+    std::string blob_path;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        blob_path = e.path().string();
+    ASSERT_FALSE(blob_path.empty()) << "cold build wrote no blob";
+    const std::vector<uint8_t> pristine = readAll(blob_path);
+
+    FaultInjector fi(2025);
+    size_t cases = 0;
+    size_t rejected = 0;
+    const auto sweep = [&](const std::vector<uint8_t> &corrupted) {
+        if (corrupted == pristine)
+            return; // A no-op mutation is not a corruption.
+        ++cases;
+        const uint64_t rejects_before = store.stats().diskRejects;
+        writeAll(blob_path, corrupted);
+        store.clearMemory();
+        const sim::LayerProfile rebuilt =
+            workload::buildLayerProfile(spec);
+        EXPECT_TRUE(sameProfile(rebuilt, reference))
+            << "corrupt cache blob altered a profile";
+        rejected += store.stats().diskRejects > rejects_before;
+        // The rebuild refiled a valid blob; restore the pristine image
+        // so each case corrupts from the same base.
+        writeAll(blob_path, pristine);
+    };
+
+    for (int i = 0; i < 60; ++i)
+        sweep(fi.flipBits(pristine, 1));
+    for (int i = 0; i < 30; ++i)
+        sweep(fi.flipBits(pristine, 2 + fi.rng().below(16)));
+    // Truncations at and around the 36-byte header boundary and the
+    // tail, plus random cuts.
+    for (const size_t cut : {size_t{0}, size_t{1}, size_t{4}, size_t{8},
+                             size_t{35}, size_t{36}, size_t{37},
+                             pristine.size() - 1})
+        sweep(fi.truncate(pristine, cut));
+    for (int i = 0; i < 20; ++i)
+        sweep(fi.truncateRandom(pristine));
+    for (int i = 0; i < 30; ++i)
+        sweep(fi.mutateRandomByte(pristine));
+    for (int i = 0; i < 10; ++i)
+        sweep(fi.extend(pristine, 1 + fi.rng().below(16)));
+    // Cross-section swaps: header <-> payload.
+    for (int i = 0; i < 10; ++i) {
+        const size_t len = 4 + fi.rng().below(4);
+        const size_t a = fi.rng().below(36 - len);
+        const size_t b =
+            36 + fi.rng().below(pristine.size() - 36 - len);
+        sweep(fi.swapRanges(pristine, a, b, len));
+    }
+    // An empty and a foreign file.
+    sweep({});
+    sweep(std::vector<uint8_t>(pristine.size(), 0x44));
+
+    EXPECT_GE(cases, 150u);
+    // Every corruption that reached the parser was rejected (cuts that
+    // only removed the file are misses, not rejects — count those out).
+    EXPECT_EQ(rejected, cases);
+
+    store.setDiskDir("");
+    store.clearMemory();
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a bench_kernels --json run against a checked-in baseline.
+
+Both files are google-benchmark JSON (the --json flag of bench_kernels
+translates to --benchmark_out). Raw nanosecond times are not comparable
+across machines, so the check is *relative*: every benchmark's
+current/baseline cpu_time ratio is divided by the median ratio across
+all shared benchmarks (the machine-speed factor), and a benchmark fails
+only when it is more than --tolerance slower than the fleet after that
+normalization. A uniform slowdown (slower CI runner) therefore passes;
+one kernel regressing against its peers fails.
+
+Exit codes: 0 ok, 1 regression found, 2 bad input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_times(path):
+    """benchmark name -> cpu_time (ns) from a google-benchmark JSON."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_perf: cannot read '{path}': {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = float(b["cpu_time"])
+    if not times:
+        print(f"check_perf: no benchmarks in '{path}'", file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="fresh bench_kernels JSON")
+    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed normalized slowdown (default 0.25)")
+    args = ap.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("check_perf: no shared benchmarks", file=sys.stderr)
+        return 2
+    for name in sorted(set(baseline) - set(current)):
+        print(f"check_perf: WARNING baseline-only benchmark: {name}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"check_perf: note: not in baseline (skipped): {name}")
+
+    ratios = {n: current[n] / baseline[n] for n in shared}
+    scale = statistics.median(ratios.values())
+    print(f"check_perf: machine-speed factor {scale:.3f} "
+          f"(median of {len(shared)} benchmarks)")
+
+    failed = []
+    for name in shared:
+        normalized = ratios[name] / scale
+        status = "ok"
+        if normalized > 1.0 + args.tolerance:
+            status = "REGRESSION"
+            failed.append(name)
+        print(f"  {name:40s} {current[name]:14.1f}ns "
+              f"vs {baseline[name]:14.1f}ns "
+              f"normalized {normalized:6.3f}  {status}")
+
+    if failed:
+        print(f"check_perf: {len(failed)} benchmark(s) regressed "
+              f">{args.tolerance:.0%} vs baseline: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"check_perf: all {len(shared)} shared benchmarks within "
+          f"{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

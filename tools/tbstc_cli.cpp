@@ -43,6 +43,7 @@
 #include "obs/obs.hpp"
 #include "sim/dram.hpp"
 #include "sim/energy.hpp"
+#include "util/contentstore.hpp"
 #include "util/flags.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -130,6 +131,8 @@ struct SimOpts
     std::string tracePath;
     std::string metricsPath;
     bool metricsHost = false;
+    std::string profileCache;
+    bool noCache = false;
 
     void
     declare(util::FlagSet &flags)
@@ -160,7 +163,12 @@ struct SimOpts
                     "write the deterministic metrics JSON")
             .flag("metrics-host", &metricsHost,
                   "include host-domain (schedule-dependent) metrics "
-                  "in --metrics output");
+                  "in --metrics output")
+            .option("profile-cache", &profileCache, "DIR",
+                    "persist profile/sim results to DIR and reuse "
+                    "them across runs (also: TBSTC_PROFILE_CACHE)")
+            .flag("no-cache", &noCache,
+                  "disable the in-memory and on-disk result caches");
     }
 
     /** Turn on the obs subsystem for the flags that need it. */
@@ -173,6 +181,10 @@ struct SimOpts
             obs::setMetricsEnabled(true);
         if (threads > 0)
             util::setThreads(threads);
+        if (noCache)
+            util::ContentStore::instance().setEnabled(false);
+        else if (!profileCache.empty())
+            util::ContentStore::instance().setDiskDir(profileCache);
     }
 
     /** Write requested telemetry files; returns 0 or an exit code. */
