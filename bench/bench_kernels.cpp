@@ -18,6 +18,7 @@
 #include "core/sparsify.hpp"
 #include "format/codec.hpp"
 #include "format/encoding.hpp"
+#include "kernels/kernels.hpp"
 #include "sim/pipeline.hpp"
 #include "sim/scheduler.hpp"
 #include "util/contentstore.hpp"
@@ -312,6 +313,162 @@ BM_ContentStoreHit(benchmark::State &state)
 }
 BENCHMARK(BM_ContentStoreHit)->Arg(1024)->Arg(65536);
 
+// --------------------------------------------------------------------
+// Per-ISA kernel-table microbenchmarks: one registration per primitive
+// per level the host can run (BM_Kernel*/scalar, /avx2, ...), so one
+// run shows every level side by side and check_perf can gate the SIMD
+// wins against per-ISA baselines. The macro benchmarks above use the
+// *active* level (TBSTC_ISA / --isa); these bypass the selection.
+// --------------------------------------------------------------------
+
+std::vector<uint64_t>
+benchWords(size_t n, uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<uint64_t> words(n);
+    for (auto &w : words)
+        w = rng.next();
+    return words;
+}
+
+void
+BM_KernelPopcount(benchmark::State &state,
+                  const kernels::KernelTable *t)
+{
+    const auto words = benchWords(131072, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t->popcount(words.data(), words.size()));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * words.size() * 8));
+}
+
+void
+BM_KernelPopcountXor(benchmark::State &state,
+                     const kernels::KernelTable *t)
+{
+    const auto a = benchWords(131072, 11);
+    const auto b = benchWords(131072, 13);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            t->popcountXor(a.data(), b.data(), a.size()));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * a.size() * 16));
+}
+
+void
+BM_KernelBytePopcountAccum(benchmark::State &state,
+                           const kernels::KernelTable *t)
+{
+    // The blockNnz inner loop: 8 row accumulations into one strip.
+    const auto words = benchWords(8 * 2048, 17);
+    std::vector<uint64_t> acc(2048);
+    for (auto _ : state) {
+        std::fill(acc.begin(), acc.end(), uint64_t{0});
+        for (size_t r = 0; r < 8; ++r)
+            t->bytePopcountAccum(words.data() + r * acc.size(),
+                                 acc.size(), acc.data());
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * words.size() * 8));
+}
+
+void
+BM_KernelRank8x8(benchmark::State &state, const kernels::KernelTable *t)
+{
+    util::Rng rng(23);
+    std::vector<float> blocks(64 * 1024);
+    for (auto &v : blocks)
+        v = static_cast<float>(rng.below(4096)) * 0.25f;
+    std::vector<uint16_t> rank_row(64);
+    std::vector<uint16_t> rank_col(64);
+    for (auto _ : state) {
+        for (size_t b = 0; b < 1024; ++b)
+            t->rank8x8(blocks.data() + b * 64, rank_row.data(),
+                       rank_col.data());
+        benchmark::DoNotOptimize(rank_row.data());
+        benchmark::DoNotOptimize(rank_col.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * 1024 * 64));
+}
+
+void
+BM_KernelPackIdx(benchmark::State &state, const kernels::KernelTable *t)
+{
+    util::Rng rng(29);
+    const unsigned bits = 3; // m = 8, the dominant DDC geometry.
+    std::vector<uint8_t> vals(1 << 16);
+    for (auto &v : vals)
+        v = static_cast<uint8_t>(rng.below(8));
+    std::vector<uint8_t> packed((vals.size() * bits + 7) / 8);
+    for (auto _ : state) {
+        t->packIdx(vals.data(), vals.size(), bits, packed.data());
+        benchmark::DoNotOptimize(packed.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * vals.size()));
+}
+
+void
+BM_KernelUnpackIdx(benchmark::State &state,
+                   const kernels::KernelTable *t)
+{
+    util::Rng rng(31);
+    const unsigned bits = 3;
+    std::vector<uint8_t> vals(1 << 16);
+    for (auto &v : vals)
+        v = static_cast<uint8_t>(rng.below(8));
+    std::vector<uint8_t> packed((vals.size() * bits + 7) / 8);
+    kernels::kernelTableFor(kernels::Isa::Scalar)
+        ->packIdx(vals.data(), vals.size(), bits, packed.data());
+    std::vector<uint8_t> out(vals.size());
+    for (auto _ : state) {
+        t->unpackIdx(packed.data(), out.size(), bits, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * out.size()));
+}
+
+void
+BM_KernelCrc32(benchmark::State &state, const kernels::KernelTable *t)
+{
+    util::Rng rng(37);
+    std::vector<uint8_t> bytes(1 << 16);
+    for (auto &b : bytes)
+        b = static_cast<uint8_t>(rng.below(256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            t->crc32(bytes.data(), bytes.size(), 0));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * bytes.size()));
+}
+
+/** Register every BM_Kernel* benchmark for every runnable level. */
+void
+registerKernelBenchmarks()
+{
+    const std::pair<const char *,
+                    void (*)(benchmark::State &,
+                             const kernels::KernelTable *)>
+        prims[] = {
+            {"BM_KernelPopcount", &BM_KernelPopcount},
+            {"BM_KernelPopcountXor", &BM_KernelPopcountXor},
+            {"BM_KernelBytePopcountAccum", &BM_KernelBytePopcountAccum},
+            {"BM_KernelRank8x8", &BM_KernelRank8x8},
+            {"BM_KernelPackIdx", &BM_KernelPackIdx},
+            {"BM_KernelUnpackIdx", &BM_KernelUnpackIdx},
+            {"BM_KernelCrc32", &BM_KernelCrc32},
+        };
+    for (const kernels::Isa isa : kernels::supportedIsas()) {
+        const kernels::KernelTable *t = kernels::kernelTableFor(isa);
+        for (const auto &[name, fn] : prims)
+            benchmark::RegisterBenchmark(
+                (std::string(name) + "/" + t->name).c_str(), fn, t);
+    }
+}
+
 } // namespace
 
 /**
@@ -340,6 +497,12 @@ main(int argc, char **argv)
     benchmark::Initialize(&cargc, cargs.data());
     if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
         return 1;
+    // Attribute every run (and its JSON) to the dispatched backend;
+    // check_perf.py keys its baselines off this field.
+    benchmark::AddCustomContext(
+        "tbstc_isa",
+        tbstc::kernels::isaName(tbstc::kernels::activeIsa()));
+    registerKernelBenchmarks();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

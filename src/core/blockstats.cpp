@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::core {
@@ -42,19 +43,6 @@ directionDistribution(const TbsMeta &meta)
     return d;
 }
 
-namespace {
-
-/** SWAR per-byte popcounts: each byte of the result counts its own byte. */
-inline uint64_t
-bytePopcounts(uint64_t x)
-{
-    x = x - ((x >> 1) & 0x5555555555555555ull);
-    x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
-    return (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
-}
-
-} // namespace
-
 std::vector<size_t>
 blockNnz(const Mask &mask, size_t m)
 {
@@ -69,14 +57,13 @@ blockNnz(const Mask &mask, size_t m)
         // 8-row vertical sum tops out at 64, well inside a byte).
         const std::span<const uint64_t> words = mask.words();
         const size_t wpr = mask.wordsPerRow();
+        const kernels::KernelTable &k = kernels::active();
         std::vector<uint64_t> acc(wpr);
         for (size_t br = 0; br < block_rows; ++br) {
             std::fill(acc.begin(), acc.end(), uint64_t{0});
-            for (size_t r = 0; r < 8; ++r) {
-                const uint64_t *row = words.data() + (br * 8 + r) * wpr;
-                for (size_t w = 0; w < wpr; ++w)
-                    acc[w] += bytePopcounts(row[w]);
-            }
+            for (size_t r = 0; r < 8; ++r)
+                k.bytePopcountAccum(
+                    words.data() + (br * 8 + r) * wpr, wpr, acc.data());
             for (size_t bc = 0; bc < block_cols; ++bc)
                 nnz[br * block_cols + bc] =
                     (acc[bc >> 3] >> ((bc & 7) * 8)) & 0xff;

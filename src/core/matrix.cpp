@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 
 namespace tbstc::core {
@@ -70,10 +71,8 @@ Mask::toBytes() const
 size_t
 Mask::nnz() const
 {
-    size_t n = 0;
-    for (uint64_t w : words_)
-        n += static_cast<size_t>(std::popcount(w));
-    return n;
+    return static_cast<size_t>(
+        kernels::active().popcount(words_.data(), words_.size()));
 }
 
 double
@@ -89,11 +88,8 @@ Mask::hamming(const Mask &other) const
 {
     ensure(rows_ == other.rows_ && cols_ == other.cols_,
            "Mask::hamming shape mismatch");
-    size_t diff = 0;
-    for (size_t i = 0; i < words_.size(); ++i)
-        diff += static_cast<size_t>(std::popcount(words_[i]
-                                                  ^ other.words_[i]));
-    return diff;
+    return static_cast<size_t>(kernels::active().popcountXor(
+        words_.data(), other.words_.data(), words_.size()));
 }
 
 double
@@ -104,10 +100,8 @@ Mask::overlap(const Mask &other) const
     const size_t other_nnz = other.nnz();
     if (other_nnz == 0)
         return 1.0;
-    size_t agree = 0;
-    for (size_t i = 0; i < words_.size(); ++i)
-        agree += static_cast<size_t>(std::popcount(words_[i]
-                                                   & other.words_[i]));
+    const auto agree = static_cast<size_t>(kernels::active().popcountAnd(
+        words_.data(), other.words_.data(), words_.size()));
     return static_cast<double>(agree) / static_cast<double>(other_nnz);
 }
 
@@ -127,8 +121,8 @@ Mask::operator&=(const Mask &other)
 {
     ensure(rows_ == other.rows_ && cols_ == other.cols_,
            "Mask::operator&= shape mismatch");
-    for (size_t i = 0; i < words_.size(); ++i)
-        words_[i] &= other.words_[i];
+    kernels::active().andInplace(words_.data(), other.words_.data(),
+                                 words_.size());
     return *this;
 }
 
@@ -137,8 +131,8 @@ Mask::operator|=(const Mask &other)
 {
     ensure(rows_ == other.rows_ && cols_ == other.cols_,
            "Mask::operator|= shape mismatch");
-    for (size_t i = 0; i < words_.size(); ++i)
-        words_[i] |= other.words_[i];
+    kernels::active().orInplace(words_.data(), other.words_.data(),
+                                words_.size());
     return *this;
 }
 
@@ -148,8 +142,8 @@ Mask::operator^=(const Mask &other)
     ensure(rows_ == other.rows_ && cols_ == other.cols_,
            "Mask::operator^= shape mismatch");
     // Pad bits are zero on both sides, so XOR keeps the invariant.
-    for (size_t i = 0; i < words_.size(); ++i)
-        words_[i] ^= other.words_[i];
+    kernels::active().xorInplace(words_.data(), other.words_.data(),
+                                 words_.size());
     return *this;
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <type_traits>
 
+#include "kernels/kernels.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
 
@@ -175,31 +176,6 @@ checkTileDivisibility(const Matrix &scores, size_t m)
 }
 
 /**
- * Ranks of 8 elements (stride @p stride apart) under the selectTopN
- * order (value desc, index asc). Each of the 28 unordered pairs is
- * compared once: for i < j, element i precedes j iff v[i] >= v[j]
- * (ties fall to the lower index), and exactly one of the pair gains a
- * rank point. Fully unrolled, both the values and the rank counters
- * stay in registers.
- */
-inline void
-rank8(const float *p, size_t stride, uint16_t *out, size_t out_stride)
-{
-    float v[8];
-    for (size_t i = 0; i < 8; ++i)
-        v[i] = p[i * stride];
-    unsigned rk[8] = {};
-    for (size_t i = 0; i < 8; ++i)
-        for (size_t j = i + 1; j < 8; ++j) {
-            const auto ifirst = static_cast<unsigned>(v[i] >= v[j]);
-            rk[j] += ifirst;
-            rk[i] += 1u - ifirst;
-        }
-    for (size_t i = 0; i < 8; ++i)
-        out[i * out_stride] = static_cast<uint16_t>(rk[i]);
-}
-
-/**
  * Algorithm 1 step-3 worker over block-rows [begin, end).
  *
  * Instead of re-running a top-N selection per (N, dim) candidate, rank
@@ -220,6 +196,7 @@ tbsScoreBlockRows(const Matrix &scores, const Mask &us,
                   std::span<const uint8_t> n, size_t block_cols, MT m,
                   size_t begin, size_t end, TbsResult &out)
 {
+    [[maybe_unused]] const auto rank_kernel = kernels::active().rank8x8;
     std::vector<float> blk(m * m);
     std::vector<uint16_t> rank_row(m * m);
     std::vector<uint16_t> rank_col(m * m);
@@ -236,10 +213,11 @@ tbsScoreBlockRows(const Matrix &scores, const Mask &us,
             }
             if constexpr (!std::is_same_v<MT, size_t>) {
                 static_assert(MT::value == 8);
-                for (size_t r = 0; r < 8; ++r)
-                    rank8(&blk[r * 8], 1, &rank_row[r * 8], 1);
-                for (size_t c = 0; c < 8; ++c)
-                    rank8(&blk[c], 8, &rank_col[c], 8);
+                // The selectTopN-order rank oracle, dispatched to the
+                // active ISA level (kernels/): both rank tables of the
+                // whole 8x8 block in one call.
+                rank_kernel(blk.data(), rank_row.data(),
+                            rank_col.data());
             } else {
                 // Bitwise |/& rather than short-circuit ||/&&: scores
                 // are effectively random, so data-dependent branches

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.hpp"
 #include "util/checked.hpp"
 #include "util/crc32.hpp"
 #include "util/fp16.hpp"
@@ -163,64 +164,70 @@ putU32At(std::vector<uint8_t> &bytes, size_t at, uint32_t v)
     bytes[at + 3] = static_cast<uint8_t>(v >> 24);
 }
 
-/** Bit-packer for the intra-group index stream. */
+/**
+ * Collector for the intra-group index stream. Values are staged
+ * byte-wide and bit-packed in one batch through the dispatched
+ * kernels::packIdx (LSB-first, the same layout the old bit-at-a-time
+ * writer produced), so the serializer's inner loop never touches
+ * individual bits.
+ */
 class BitWriter
 {
   public:
-    void
-    put(uint32_t value, unsigned bits)
+    explicit BitWriter(unsigned bits) : bits_(bits) {}
+
+    void put(uint32_t value) { vals_.push_back(static_cast<uint8_t>(value)); }
+
+    /** Pack everything staged so far into the wire byte stream. */
+    std::vector<uint8_t>
+    packed() const
     {
-        for (unsigned b = 0; b < bits; ++b) {
-            if (bit_ == 0)
-                bytes_.push_back(0);
-            if (value & (1u << b))
-                bytes_.back() |= static_cast<uint8_t>(1u << bit_);
-            bit_ = (bit_ + 1) % 8;
-        }
+        std::vector<uint8_t> bytes((vals_.size() * bits_ + 7) / 8, 0);
+        kernels::active().packIdx(vals_.data(), vals_.size(), bits_,
+                                  bytes.data());
+        return bytes;
     }
 
-    const std::vector<uint8_t> &bytes() const { return bytes_; }
-
   private:
-    std::vector<uint8_t> bytes_;
-    unsigned bit_ = 0;
+    unsigned bits_;
+    std::vector<uint8_t> vals_;
 };
 
 /**
- * Bit-unpacker bounded to its section: [start, end) in stream bytes.
- * Reading past the section reports a truncation error rather than
- * silently consuming whatever bytes follow (in v2 the index section
- * is followed by its CRC field).
+ * Reader over the index section [start, end): the whole section is
+ * bit-unpacked in one batch (kernels::unpackIdx) and consumed value
+ * by value. parseHeader has already reconciled the section size
+ * against count*bits exactly, but the bound is still re-checked here
+ * so a future layout change cannot turn a short section into an
+ * out-of-bounds read.
  */
 class BitReader
 {
   public:
-    BitReader(std::span<const uint8_t> bytes, size_t start, size_t end)
-        : bytes_(bytes), pos_(start), end_(end)
+    BitReader(std::span<const uint8_t> bytes, size_t start, size_t end,
+              size_t count, unsigned bits)
+        : vals_(count)
     {
+        if (start > end || end > bytes.size()
+            || end - start < (count * static_cast<uint64_t>(bits) + 7) / 8)
+            failDecode(DecodeErrorKind::Truncated, end,
+                       "index stream truncated");
+        kernels::active().unpackIdx(bytes.data() + start, count, bits,
+                                    vals_.data());
     }
 
     uint32_t
-    get(unsigned bits)
+    get()
     {
-        uint32_t value = 0;
-        for (unsigned b = 0; b < bits; ++b) {
-            const size_t byte = pos_ + bit_ / 8;
-            if (byte >= end_ || byte >= bytes_.size())
-                failDecode(DecodeErrorKind::Truncated, byte,
-                           "index stream truncated");
-            if (bytes_[byte] & (1u << (bit_ % 8)))
-                value |= 1u << b;
-            ++bit_;
-        }
-        return value;
+        if (next_ >= vals_.size())
+            failDecode(DecodeErrorKind::Truncated, next_,
+                       "index stream truncated");
+        return vals_[next_++];
     }
 
   private:
-    std::span<const uint8_t> bytes_;
-    size_t pos_;
-    size_t end_;
-    size_t bit_ = 0;
+    std::vector<uint8_t> vals_;
+    size_t next_ = 0;
 };
 
 unsigned
@@ -429,8 +436,9 @@ decodeImpl(std::span<const uint8_t> bytes)
                                    "{}",
                                    running, lay.totalValues));
 
-    BitReader idx(bytes, lay.indicesAt, lay.end - 4);
     const unsigned bits = idxBits(h.m);
+    BitReader idx(bytes, lay.indicesAt, lay.end - 4, lay.totalValues,
+                  bits);
 
     out.matrix = Matrix(h.rows, h.cols);
     out.mask = Mask(h.rows, h.cols);
@@ -448,7 +456,7 @@ decodeImpl(std::span<const uint8_t> bytes)
                     const uint16_t half = static_cast<uint16_t>(
                         bytes[cursor] | (bytes[cursor + 1] << 8));
                     cursor += 2;
-                    const uint32_t e = idx.get(bits);
+                    const uint32_t e = idx.get();
                     if (e >= h.m)
                         failDecode(DecodeErrorKind::PayloadOverrun,
                                    cursor - 2,
@@ -563,8 +571,8 @@ serializeDdc(const Matrix &w, const Mask &mask, const TbsMeta &meta)
 
     // Second pass: values (fp16) and packed intra-group indices, in
     // block walk order; groups run along each block's own dimension.
-    BitWriter idx;
     const unsigned bits = idxBits(m);
+    BitWriter idx(bits);
     section_at = out.size();
     uint32_t emitted_values = 0;
     for (size_t br = 0; br < meta.blockRows; ++br) {
@@ -586,7 +594,7 @@ serializeDdc(const Matrix &w, const Mask &mask, const TbsMeta &meta)
                     const uint16_t half = util::fp16FromFloat(
                         w.at(br * m + r, bc * m + c));
                     out.u16(half);
-                    idx.put(static_cast<uint32_t>(e), bits);
+                    idx.put(static_cast<uint32_t>(e));
                     ++count;
                     ++emitted_values;
                 }
@@ -594,7 +602,7 @@ serializeDdc(const Matrix &w, const Mask &mask, const TbsMeta &meta)
                     // Pad short groups (never produced by tbsMask, but
                     // keeps the format total-function).
                     out.u16(0);
-                    idx.put(0, bits);
+                    idx.put(0);
                     ++emitted_values;
                 }
             }
@@ -605,7 +613,7 @@ serializeDdc(const Matrix &w, const Mask &mask, const TbsMeta &meta)
     out.sealCrc(section_at);
 
     section_at = out.size();
-    for (uint8_t b : idx.bytes())
+    for (uint8_t b : idx.packed())
         out.u8(b);
     out.sealCrc(section_at);
     return out.take();

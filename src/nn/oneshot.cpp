@@ -45,6 +45,10 @@ oneshotPrune(Mlp &model, const Matrix &calib_x, const OneshotConfig &cfg)
             scores = core::sparseGptScores(layer.w, hinv);
             break;
           }
+          case Criterion::Gradient:
+            util::fatal("Gradient criterion needs an explicit gradient; "
+                        "use gradientScores() with patternMask() or the "
+                        "sparse trainer");
         }
 
         layer.mask = core::patternMask(cfg.pattern, scores, cfg.sparsity,

@@ -1,35 +1,15 @@
 #include "crc32.hpp"
 
-#include <array>
+#include "kernels/kernels.hpp"
 
 namespace tbstc::util {
-
-namespace {
-
-constexpr std::array<uint32_t, 256>
-makeTable()
-{
-    std::array<uint32_t, 256> table{};
-    for (uint32_t i = 0; i < 256; ++i) {
-        uint32_t c = i;
-        for (int k = 0; k < 8; ++k)
-            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-        table[i] = c;
-    }
-    return table;
-}
-
-constexpr auto kTable = makeTable();
-
-} // namespace
 
 uint32_t
 crc32(std::span<const uint8_t> bytes, uint32_t seed)
 {
-    uint32_t c = seed ^ 0xffffffffu;
-    for (uint8_t b : bytes)
-        c = kTable[(c ^ b) & 0xffu] ^ (c >> 8);
-    return c ^ 0xffffffffu;
+    // Dispatched: PCLMUL folding on x86, the CRC extension on ARMv8,
+    // constexpr slice-by-8 tables otherwise (see src/kernels/).
+    return kernels::active().crc32(bytes.data(), bytes.size(), seed);
 }
 
 } // namespace tbstc::util

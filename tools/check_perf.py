@@ -10,44 +10,104 @@ only when it is more than --tolerance slower than the fleet after that
 normalization. A uniform slowdown (slower CI runner) therefore passes;
 one kernel regressing against its peers fails.
 
+Baselines are keyed by kernel ISA: kernel timings under AVX-512 are not
+comparable to a scalar-only runner, so when BASELINE is a *directory*
+the script reads the active ISA from the current run's
+context.tbstc_isa field (bench_kernels records it via
+AddCustomContext) and picks '<dir>/bench_kernels-<isa>.json'. Passing a
+file keeps the old behavior, but the ISAs recorded in both files must
+then match.
+
 Exit codes: 0 ok, 1 regression found, 2 bad input.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
 
 
-def load_times(path):
-    """benchmark name -> cpu_time (ns) from a google-benchmark JSON."""
+def load_doc(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"check_perf: cannot read '{path}': {e}", file=sys.stderr)
         sys.exit(2)
-    times = {}
+
+
+def doc_isa(doc):
+    """The kernel ISA the run was taken under, or None for old files."""
+    return doc.get("context", {}).get("tbstc_isa")
+
+
+def doc_times(doc, path):
+    """benchmark name -> cpu_time (ns) from a google-benchmark JSON.
+
+    With --benchmark_repetitions the same name appears once per
+    repetition; the minimum is used because timing noise on a shared
+    runner is one-sided (contention only ever adds time), so the
+    fastest repetition is the best estimate of true cost. Noisy
+    runners should pass repetitions rather than widen the tolerance.
+    """
+    samples = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        times[b["name"]] = float(b["cpu_time"])
-    if not times:
+        samples.setdefault(b["name"], []).append(float(b["cpu_time"]))
+    if not samples:
         print(f"check_perf: no benchmarks in '{path}'", file=sys.stderr)
         sys.exit(2)
-    return times
+    return {n: min(v) for n, v in samples.items()}
+
+
+def resolve_baseline(baseline_arg, current_isa):
+    """Map a baseline directory to its per-ISA file; pass files through."""
+    if not os.path.isdir(baseline_arg):
+        return baseline_arg
+    if current_isa is None:
+        print("check_perf: baseline is a directory but the current run "
+              "has no context.tbstc_isa field (bench_kernels too old?)",
+              file=sys.stderr)
+        sys.exit(2)
+    path = os.path.join(baseline_arg, f"bench_kernels-{current_isa}.json")
+    if not os.path.isfile(path):
+        have = sorted(n for n in os.listdir(baseline_arg)
+                      if n.startswith("bench_kernels-") and
+                      n.endswith(".json"))
+        print(f"check_perf: no baseline for ISA '{current_isa}' "
+              f"(missing {path}; available: {', '.join(have) or 'none'})",
+              file=sys.stderr)
+        sys.exit(2)
+    print(f"check_perf: ISA '{current_isa}' -> baseline {path}")
+    return path
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="fresh bench_kernels JSON")
-    ap.add_argument("baseline", help="checked-in baseline JSON")
+    ap.add_argument("baseline",
+                    help="baseline JSON file, or a directory of per-ISA "
+                         "baselines (bench_kernels-<isa>.json)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed normalized slowdown (default 0.25)")
     args = ap.parse_args()
 
-    current = load_times(args.current)
-    baseline = load_times(args.baseline)
+    current_doc = load_doc(args.current)
+    current_isa = doc_isa(current_doc)
+    baseline_path = resolve_baseline(args.baseline, current_isa)
+    baseline_doc = load_doc(baseline_path)
+    baseline_isa = doc_isa(baseline_doc)
+
+    if current_isa and baseline_isa and current_isa != baseline_isa:
+        print(f"check_perf: ISA mismatch: current run used "
+              f"'{current_isa}' but baseline '{baseline_path}' was taken "
+              f"under '{baseline_isa}'", file=sys.stderr)
+        return 2
+
+    current = doc_times(current_doc, args.current)
+    baseline = doc_times(baseline_doc, baseline_path)
 
     shared = sorted(set(current) & set(baseline))
     if not shared:

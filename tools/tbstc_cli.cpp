@@ -8,6 +8,7 @@
  *   formats  storage-format study (bytes, redundancy, bandwidth)
  *   fsck     validate a serialized DDC stream, report decode errors
  *   area     area/power breakdown of an accelerator
+ *   cpuinfo  detected CPU features and the dispatched kernel table
  *
  * Every subcommand declares its flags in a util::FlagSet, so parsing,
  * validation, and `tbstc help <command>` output all come from one
@@ -37,6 +38,7 @@
 
 #include "accel/accelerator.hpp"
 #include "core/prune.hpp"
+#include "kernels/kernels.hpp"
 #include "core/sparsify.hpp"
 #include "format/encoding.hpp"
 #include "format/serialize.hpp"
@@ -133,6 +135,7 @@ struct SimOpts
     bool metricsHost = false;
     std::string profileCache;
     bool noCache = false;
+    std::string isa;
 
     void
     declare(util::FlagSet &flags)
@@ -168,17 +171,34 @@ struct SimOpts
                     "persist profile/sim results to DIR and reuse "
                     "them across runs (also: TBSTC_PROFILE_CACHE)")
             .flag("no-cache", &noCache,
-                  "disable the in-memory and on-disk result caches");
+                  "disable the in-memory and on-disk result caches")
+            .option("isa", &isa, "L",
+                    "force the kernel ISA level: scalar avx2 avx512 "
+                    "neon native (default: best supported; also "
+                    "TBSTC_ISA — see 'tbstc cpuinfo')");
     }
 
     /** Turn on the obs subsystem for the flags that need it. */
     void
     enableTelemetry() const
     {
+        if (!isa.empty()) {
+            kernels::Isa level;
+            if (!kernels::parseIsa(isa, level))
+                fail("unknown ISA level '" + isa + "'");
+            if (!kernels::setIsa(level))
+                fail("ISA level '" + isa
+                     + "' is not supported on this host "
+                       "(see 'tbstc cpuinfo')");
+        }
         if (!tracePath.empty())
             obs::setTracingEnabled(true);
         if (!metricsPath.empty())
             obs::setMetricsEnabled(true);
+        // Attribute every metrics export to its kernel backend: the
+        // level is fixed per run, so the gauge is deterministic.
+        obs::gauge("kernels.isa")
+            .record(static_cast<int64_t>(kernels::activeIsa()));
         if (threads > 0)
             util::setThreads(threads);
         if (noCache)
@@ -498,6 +518,134 @@ cmdArea(int argc, char **argv)
     return 0;
 }
 
+/**
+ * cpuinfo: detected CPU features, the runnable ISA levels, the level
+ * the dispatcher selected, and per-primitive provenance of the active
+ * kernel table (levels borrow entries — e.g. avx512 reuses the avx2
+ * rank8x8 — so each row names the level that actually implements it).
+ */
+int
+cmdCpuinfo(int argc, char **argv)
+{
+    std::string isa;
+    util::FlagSet flags(
+        "cpuinfo",
+        "Report detected CPU features and the dispatched kernel "
+        "table.");
+    flags.option("isa", &isa, "L",
+                 "report the table for this level instead of the "
+                 "dispatched one: scalar avx2 avx512 neon native");
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+    if (!isa.empty()) {
+        kernels::Isa level;
+        if (!kernels::parseIsa(isa, level))
+            fail("unknown ISA level '" + isa + "'");
+        if (!kernels::setIsa(level))
+            fail("ISA level '" + isa
+                 + "' is not supported on this host");
+    }
+
+    const kernels::CpuFeatures &f = kernels::cpuFeatures();
+    const std::vector<std::pair<const char *, bool>> features{
+        {"sse4.2", f.sse42},
+        {"pclmul", f.pclmul},
+        {"bmi2", f.bmi2},
+        {"avx2", f.avx2},
+        {"avx512f", f.avx512f},
+        {"avx512bw", f.avx512bw},
+        {"avx512dq", f.avx512dq},
+        {"avx512vl", f.avx512vl},
+        {"avx512vpopcntdq", f.avx512vpopcntdq},
+        {"asimd", f.neon},
+        {"crc32", f.armCrc},
+    };
+    std::printf("detected features:");
+    bool any = false;
+    for (const auto &[name, present] : features)
+        if (present) {
+            std::printf(" %s", name);
+            any = true;
+        }
+    std::printf(any ? "\n" : " (none: scalar baseline)\n");
+
+    std::printf("supported levels: ");
+    for (const kernels::Isa level : kernels::supportedIsas())
+        std::printf(" %s", kernels::isaName(level));
+    std::printf("\nactive level:      %s%s\n",
+                kernels::isaName(kernels::activeIsa()),
+                std::getenv("TBSTC_ISA") != nullptr || !isa.empty()
+                    ? " (forced)"
+                    : " (dispatched)");
+
+    const kernels::KernelTable &active = kernels::active();
+    const std::vector<
+        std::pair<const char *,
+                  const void *(*)(const kernels::KernelTable &)>>
+        prims{
+            {"popcount",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.popcount);
+             }},
+            {"popcountAnd",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.popcountAnd);
+             }},
+            {"popcountXor",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.popcountXor);
+             }},
+            {"andInplace",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.andInplace);
+             }},
+            {"orInplace",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.orInplace);
+             }},
+            {"xorInplace",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.xorInplace);
+             }},
+            {"bytePopcountAccum",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(
+                     t.bytePopcountAccum);
+             }},
+            {"rank8x8",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.rank8x8);
+             }},
+            {"packIdx",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.packIdx);
+             }},
+            {"unpackIdx",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.unpackIdx);
+             }},
+            {"crc32",
+             [](const kernels::KernelTable &t) {
+                 return reinterpret_cast<const void *>(t.crc32);
+             }},
+        };
+    std::printf("kernel table (%s):\n", active.name);
+    for (const auto &[name, get] : prims) {
+        // Provenance: the lowest level whose table holds the same
+        // function pointer.
+        const char *from = active.name;
+        for (const kernels::Isa level : kernels::supportedIsas()) {
+            const kernels::KernelTable *t = kernels::kernelTableFor(level);
+            if (t != nullptr && get(*t) == get(active)) {
+                from = t->name;
+                break;
+            }
+        }
+        std::printf("  %-18s %s\n", name, from);
+    }
+    return 0;
+}
+
 int
 cmdHelp(int argc, char **argv)
 {
@@ -515,13 +663,16 @@ cmdHelp(int argc, char **argv)
             return 0;
         }
         // The remaining subcommands print their own help via --help.
-        if (topic == "formats" || topic == "fsck" || topic == "area") {
+        if (topic == "formats" || topic == "fsck" || topic == "area"
+            || topic == "cpuinfo") {
             char help_flag[] = "--help";
             char *sub_argv[] = {argv[0], argv[2], help_flag};
             if (topic == "formats")
                 return cmdFormats(3, sub_argv);
             if (topic == "fsck")
                 return cmdFsck(3, sub_argv);
+            if (topic == "cpuinfo")
+                return cmdCpuinfo(3, sub_argv);
             return cmdArea(3, sub_argv);
         }
     }
@@ -537,6 +688,7 @@ cmdHelp(int argc, char **argv)
         "           [--dump FILE]  (write the DDC byte stream)\n"
         "  fsck     FILE  (validate a dumped DDC stream)\n"
         "  area     --accel K\n"
+        "  cpuinfo  [--isa L]  (CPU features, dispatched kernels)\n"
         "  help     [command]\n"
         "\n"
         "accelerators: tc stc vegeta highlight rmstc sgcn tbstc fan\n"
@@ -567,6 +719,8 @@ main(int argc, char **argv)
             return cmdFsck(argc, argv);
         if (cmd == "area")
             return cmdArea(argc, argv);
+        if (cmd == "cpuinfo")
+            return cmdCpuinfo(argc, argv);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return cmdHelp(argc, argv);
         fail("unknown command '" + cmd + "'");
