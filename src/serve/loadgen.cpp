@@ -1,0 +1,344 @@
+#include "loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/rng.hpp"
+
+namespace tbstc::serve {
+
+namespace {
+
+/** Connect to the daemon; -1 + errno message on failure. */
+int
+connectDaemon(const LoadgenOptions &opts, std::string &err)
+{
+    int fd = -1;
+    if (!opts.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opts.socketPath.size() >= sizeof addr.sun_path) {
+            err = "socket path too long: " + opts.socketPath;
+            return -1;
+        }
+        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                     sizeof addr.sun_path - 1);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0
+            && ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr)
+                != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    } else {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(opts.port);
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd >= 0
+            && ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr)
+                != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    if (fd < 0)
+        err = std::string("connect: ") + std::strerror(errno);
+    return fd;
+}
+
+/** Signature of a request: its serialization with the id zeroed. */
+std::string
+signatureOf(const Request &req)
+{
+    Request key = req;
+    key.id = 0;
+    return serializeRequest(key);
+}
+
+/** Shared across client threads. */
+struct Shared
+{
+    std::mutex m;
+    std::map<std::string, std::string> csvBySig; // first response wins
+    uint64_t mismatched = 0;
+};
+
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+std::vector<Request>
+buildMix(size_t total, uint64_t seed)
+{
+    static const char *kLayers[] = {"256x256x1", "512x512x1",
+                                    "384x256x2"};
+    static const accel::AccelKind kAccels[] = {
+        accel::AccelKind::TbStc, accel::AccelKind::STC,
+        accel::AccelKind::TC, accel::AccelKind::TbStcFan};
+    static const double kSparsities[] = {0.5, 0.75};
+
+    util::Rng rng(seed);
+    std::vector<Request> mix;
+    mix.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+        Request req;
+        req.id = static_cast<uint64_t>(i) + 1;
+        // ~1 in 8 requests exercises the sparsify/DDC path; the rest
+        // the simulation path.
+        if (rng.below(8) == 0) {
+            req.op = Op::Sparsify;
+            req.sparsify.layer = rng.below(2) == 0 ? "128x128x1"
+                                                   : "256x256x1";
+            req.sparsify.sparsity = 0.75;
+            req.sparsify.seed = 42;
+            req.sparsify.m = 8;
+        } else {
+            req.op = Op::Run;
+            req.run.kind = kAccels[rng.below(4)];
+            req.run.layer = kLayers[rng.below(3)];
+            req.run.sparsity = kSparsities[rng.below(2)];
+            req.run.seed = 42;
+        }
+        mix.push_back(std::move(req));
+    }
+    return mix;
+}
+
+std::string
+oneShotCommand(const Request &req)
+{
+    char buf[256];
+    if (req.op == Op::Sparsify) {
+        std::snprintf(buf, sizeof buf,
+                      "tbstc formats --layer %s --sparsity %g "
+                      "--seed %llu --m %llu",
+                      req.sparsify.layer.c_str(), req.sparsify.sparsity,
+                      static_cast<unsigned long long>(
+                          req.sparsify.seed),
+                      static_cast<unsigned long long>(req.sparsify.m));
+        return buf;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "tbstc run --accel %s --layer %s --sparsity %g "
+                  "--seed %llu --csv",
+                  accelWireName(req.run.kind).c_str(),
+                  req.run.layer.c_str(), req.run.sparsity,
+                  static_cast<unsigned long long>(req.run.seed));
+    return buf;
+}
+
+util::Result<LoadgenStats, std::string>
+runLoadgen(const LoadgenOptions &opts)
+{
+    if (opts.clients == 0 || opts.totalRequests == 0)
+        return util::unexpected(
+            std::string("need clients > 0 and requests > 0"));
+
+    const auto mix = buildMix(opts.totalRequests, opts.seed);
+
+    // Probe the connection once before spawning clients so setup
+    // failures surface as one clean error.
+    {
+        std::string err;
+        const int fd = connectDaemon(opts, err);
+        if (fd < 0)
+            return util::unexpected(err);
+        ::close(fd);
+    }
+
+    Shared shared;
+    std::atomic<uint64_t> sent{0};
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> busyRetries{0};
+    std::atomic<uint64_t> errors{0};
+    std::vector<std::vector<double>> latencies(opts.clients);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(opts.clients);
+    for (size_t c = 0; c < opts.clients; ++c) {
+        clients.emplace_back([&, c] {
+            std::string err;
+            const int fd = connectDaemon(opts, err);
+            if (fd < 0) {
+                errors.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            std::string frame;
+            // Client c takes mix indices c, c+clients, c+2*clients...
+            for (size_t i = c; i < mix.size(); i += opts.clients) {
+                const Request &req = mix[i];
+                const std::string payload = serializeRequest(req);
+                bool answered = false;
+                const auto sendT = std::chrono::steady_clock::now();
+                for (size_t attempt = 0;
+                     attempt <= opts.maxRetries && !answered;
+                     ++attempt) {
+                    if (attempt == 0)
+                        sent.fetch_add(1, std::memory_order_relaxed);
+                    if (!writeFrame(fd, payload)
+                        || readFrame(fd, frame) != FrameStatus::Ok) {
+                        errors.fetch_add(1,
+                                         std::memory_order_relaxed);
+                        ::close(fd);
+                        return;
+                    }
+                    const auto doc = parseJson(frame);
+                    if (!doc || !doc->isObject()) {
+                        errors.fetch_add(1,
+                                         std::memory_order_relaxed);
+                        answered = true;
+                        break;
+                    }
+                    if (doc->get("ok").asBool(false)) {
+                        const auto recvT =
+                            std::chrono::steady_clock::now();
+                        latencies[c].push_back(
+                            std::chrono::duration<double,
+                                                  std::milli>(
+                                recvT - sendT)
+                                .count());
+                        ok.fetch_add(1, std::memory_order_relaxed);
+                        answered = true;
+                        // Cross-check response bytes against the
+                        // first response seen for this signature:
+                        // the csv line for runs, the DDC stream CRC
+                        // for sparsifies.
+                        const JsonValue &res = doc->get("result");
+                        std::string csv;
+                        if (res.has("csv"))
+                            csv = res.get("csv").asString();
+                        else
+                            csv = jsonNumber(
+                                res.get("ddc_crc32").asNumber(-1.0));
+                        const std::lock_guard lk(shared.m);
+                        const auto [it, inserted] =
+                            shared.csvBySig.try_emplace(
+                                signatureOf(req), csv);
+                        if (!inserted && it->second != csv)
+                            ++shared.mismatched;
+                        break;
+                    }
+                    const std::string &kind =
+                        doc->get("kind").asString();
+                    if (kind == "busy") {
+                        busyRetries.fetch_add(
+                            1, std::memory_order_relaxed);
+                        const double ms =
+                            doc->get("retry_after_ms").asNumber(50.0);
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double,
+                                                  std::milli>(ms));
+                        continue;
+                    }
+                    errors.fetch_add(1, std::memory_order_relaxed);
+                    answered = true;
+                }
+                if (!answered)
+                    errors.fetch_add(1, std::memory_order_relaxed);
+            }
+            ::close(fd);
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    LoadgenStats s;
+    s.sent = sent.load();
+    s.ok = ok.load();
+    s.busyRetries = busyRetries.load();
+    s.errors = errors.load();
+    s.mismatched = shared.mismatched;
+    s.elapsedSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    s.reqPerSec = s.elapsedSeconds > 0.0
+        ? static_cast<double>(s.ok) / s.elapsedSeconds
+        : 0.0;
+
+    std::vector<double> all;
+    for (const auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    s.p50Ms = percentile(all, 0.50);
+    s.p95Ms = percentile(all, 0.95);
+    s.p99Ms = percentile(all, 0.99);
+
+    if (opts.verify) {
+        // Re-run each distinct request in-process through the same
+        // exec entry points and demand byte-identical csv fields.
+        std::map<std::string, std::string> csvBySig;
+        {
+            const std::lock_guard lk(shared.m);
+            csvBySig = shared.csvBySig;
+        }
+        for (const auto &req : mix) {
+            const auto it = csvBySig.find(signatureOf(req));
+            if (it == csvBySig.end())
+                continue;
+            std::string local;
+            try {
+                if (req.op == Op::Run) {
+                    local = formatStats(accel::accelName(req.run.kind),
+                                        executeRun(req.run), true);
+                } else {
+                    local = jsonNumber(static_cast<double>(
+                        executeSparsify(req.sparsify).ddcCrc32));
+                }
+            } catch (const std::exception &) {
+                ++s.mismatched;
+                continue;
+            }
+            if (local != it->second)
+                ++s.mismatched;
+            csvBySig.erase(it); // verify each signature once
+        }
+    }
+    return s;
+}
+
+std::string
+loadgenJson(const LoadgenStats &s)
+{
+    std::string out = "{\"schema\": \"tbstc.loadgen.v1\"";
+    out += ", \"sent\": " + std::to_string(s.sent);
+    out += ", \"ok\": " + std::to_string(s.ok);
+    out += ", \"busy_retries\": " + std::to_string(s.busyRetries);
+    out += ", \"errors\": " + std::to_string(s.errors);
+    out += ", \"mismatched\": " + std::to_string(s.mismatched);
+    out += ", \"elapsed_s\": " + jsonNumber(s.elapsedSeconds);
+    out += ", \"req_per_s\": " + jsonNumber(s.reqPerSec);
+    out += ", \"latency_ms\": {\"p50\": " + jsonNumber(s.p50Ms)
+        + ", \"p95\": " + jsonNumber(s.p95Ms)
+        + ", \"p99\": " + jsonNumber(s.p99Ms) + "}}";
+    return out;
+}
+
+} // namespace tbstc::serve

@@ -1,0 +1,282 @@
+#include "protocol.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tbstc::serve {
+
+namespace {
+
+/** Read a non-negative integer field; nullopt on absence/mismatch. */
+std::optional<uint64_t>
+u64Field(const JsonValue &obj, std::string_view name)
+{
+    const JsonValue &v = obj.get(name);
+    if (v.type() != JsonValue::Type::Number)
+        return std::nullopt;
+    const double d = v.asNumber();
+    if (d < 0.0 || d != std::floor(d) || d > 9.007199254740992e15)
+        return std::nullopt;
+    return static_cast<uint64_t>(d);
+}
+
+} // namespace
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::BadRequest: return "bad_request";
+      case ErrorKind::Busy: return "busy";
+      case ErrorKind::ShuttingDown: return "shutting_down";
+      case ErrorKind::Internal: return "internal";
+    }
+    return "internal";
+}
+
+util::Result<Request, RequestError>
+parseRequest(std::string_view json)
+{
+    const auto doc = parseJson(json);
+    if (!doc)
+        return util::unexpected(RequestError{
+            0, "invalid JSON at byte "
+                   + std::to_string(doc.error().offset) + ": "
+                   + doc.error().message});
+    const JsonValue &v = *doc;
+    if (!v.isObject())
+        return util::unexpected(
+            RequestError{0, "request must be a JSON object"});
+
+    Request req;
+    if (const auto id = u64Field(v, "id"))
+        req.id = *id;
+    else if (v.has("id"))
+        return util::unexpected(
+            RequestError{0, "'id' must be a non-negative integer"});
+
+    const auto fail = [&req](std::string message) {
+        return util::unexpected(RequestError{req.id,
+                                             std::move(message)});
+    };
+
+    const std::string &op = v.get("op").asString();
+    if (op == "ping") {
+        req.op = Op::Ping;
+        return req;
+    }
+    if (op == "stats") {
+        req.op = Op::Stats;
+        return req;
+    }
+    if (op == "run") {
+        req.op = Op::Run;
+        RunSpec &r = req.run;
+        const std::string &accel = v.get("accel").asString();
+        const auto kind = tryParseAccel(accel);
+        if (!kind)
+            return fail("unknown accelerator '" + accel
+                                    + "'");
+        r.kind = *kind;
+        r.model = v.get("model").asString();
+        r.layer = v.get("layer").asString();
+        if (r.model.empty() && r.layer.empty())
+            return fail("need 'model' or 'layer'");
+        if (!r.model.empty() && !tryParseModel(r.model))
+            return fail("unknown model '" + r.model + "'");
+        if (!r.layer.empty() && !tryParseLayer(r.layer, "cli.layer"))
+            return fail("layer spec must be XxYxNB, got '"
+                                    + r.layer + "'");
+        r.sparsity = v.get("sparsity").asNumber(r.sparsity);
+        if (!(r.sparsity >= 0.0 && r.sparsity < 1.0))
+            return fail("'sparsity' must be in [0, 1)");
+        if (const auto seq = u64Field(v, "seq"))
+            r.seq = *seq;
+        if (const auto seed = u64Field(v, "seed"))
+            r.seed = *seed;
+        r.int8Weights = v.get("int8").asBool(false);
+        r.full = v.get("full").asBool(false);
+        if (v.has("bw")) {
+            const double bw = v.get("bw").asNumber(-1.0);
+            if (bw <= 0.0)
+                return fail("'bw' must be positive");
+            r.bw = bw;
+        }
+        return req;
+    }
+    if (op == "sparsify") {
+        req.op = Op::Sparsify;
+        SparsifySpec &s = req.sparsify;
+        s.layer = v.get("layer").asString();
+        if (s.layer.empty() || !tryParseLayer(s.layer, "cli.formats"))
+            return fail("layer spec must be XxYxNB, got '"
+                                    + s.layer + "'");
+        s.sparsity = v.get("sparsity").asNumber(s.sparsity);
+        if (!(s.sparsity >= 0.0 && s.sparsity < 1.0))
+            return fail("'sparsity' must be in [0, 1)");
+        if (const auto seed = u64Field(v, "seed"))
+            s.seed = *seed;
+        if (const auto m = u64Field(v, "m"))
+            s.m = *m;
+        if (s.m == 0 || s.m > 64)
+            return fail("'m' must be in [1, 64]");
+        return req;
+    }
+    if (op.empty())
+        return fail("missing 'op'");
+    return fail("unknown op '" + op + "'");
+}
+
+std::string
+serializeRequest(const Request &req)
+{
+    std::string out = "{\"id\": " + std::to_string(req.id);
+    switch (req.op) {
+      case Op::Ping:
+        out += ", \"op\": \"ping\"";
+        break;
+      case Op::Stats:
+        out += ", \"op\": \"stats\"";
+        break;
+      case Op::Run: {
+        const RunSpec &r = req.run;
+        out += ", \"op\": \"run\", \"accel\": "
+            + jsonQuote(accelWireName(r.kind));
+        if (!r.model.empty())
+            out += ", \"model\": " + jsonQuote(r.model);
+        if (!r.layer.empty())
+            out += ", \"layer\": " + jsonQuote(r.layer);
+        out += ", \"sparsity\": " + jsonNumber(r.sparsity);
+        out += ", \"seq\": " + std::to_string(r.seq);
+        out += ", \"seed\": " + std::to_string(r.seed);
+        if (r.int8Weights)
+            out += ", \"int8\": true";
+        if (r.full)
+            out += ", \"full\": true";
+        if (r.bw)
+            out += ", \"bw\": " + jsonNumber(*r.bw);
+        break;
+      }
+      case Op::Sparsify: {
+        const SparsifySpec &s = req.sparsify;
+        out += ", \"op\": \"sparsify\", \"layer\": "
+            + jsonQuote(s.layer);
+        out += ", \"sparsity\": " + jsonNumber(s.sparsity);
+        out += ", \"seed\": " + std::to_string(s.seed);
+        out += ", \"m\": " + std::to_string(s.m);
+        break;
+      }
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+okResponse(uint64_t id, const std::string &resultJson)
+{
+    return "{\"id\": " + std::to_string(id)
+        + ", \"ok\": true, \"result\": " + resultJson + "}";
+}
+
+std::string
+errorResponse(uint64_t id, ErrorKind kind, const std::string &message,
+              uint64_t retryAfterMs)
+{
+    std::string out = "{\"id\": " + std::to_string(id)
+        + ", \"ok\": false, \"kind\": \""
+        + errorKindName(kind) + "\", \"error\": " + jsonQuote(message);
+    if (kind == ErrorKind::Busy)
+        out += ", \"retry_after_ms\": " + std::to_string(retryAfterMs);
+    out += "}";
+    return out;
+}
+
+std::string
+runResultJson(const sim::RunStats &stats, const std::string &label)
+{
+    return "{\"label\": " + jsonQuote(label)
+        + ", \"csv\": " + jsonQuote(formatStats(label, stats, true))
+        + ", \"text\": " + jsonQuote(formatStats(label, stats, false))
+        + ", \"cycles\": " + jsonNumber(stats.cycles)
+        + ", \"seconds\": " + jsonNumber(stats.seconds)
+        + ", \"energy_j\": " + jsonNumber(stats.energy.totalJ()) + "}";
+}
+
+std::string
+sparsifyResultJson(const SparsifyResult &r)
+{
+    return "{\"rows\": " + std::to_string(r.rows)
+        + ", \"cols\": " + std::to_string(r.cols)
+        + ", \"nnz\": " + std::to_string(r.nnz)
+        + ", \"ddc_bytes\": " + std::to_string(r.ddcBytes)
+        + ", \"ddc_crc32\": " + std::to_string(r.ddcCrc32) + "}";
+}
+
+FrameStatus
+readFrame(int fd, std::string &out, size_t maxBytes)
+{
+    uint8_t lenBuf[4];
+    size_t got = 0;
+    while (got < sizeof lenBuf) {
+        const ssize_t n =
+            ::recv(fd, lenBuf + got, sizeof lenBuf - got, 0);
+        if (n == 0)
+            return got == 0 ? FrameStatus::Eof : FrameStatus::Error;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameStatus::Error;
+        }
+        got += static_cast<size_t>(n);
+    }
+    const uint32_t len = static_cast<uint32_t>(lenBuf[0])
+        | static_cast<uint32_t>(lenBuf[1]) << 8
+        | static_cast<uint32_t>(lenBuf[2]) << 16
+        | static_cast<uint32_t>(lenBuf[3]) << 24;
+    if (len == 0 || len > maxBytes)
+        return FrameStatus::TooBig;
+    out.resize(len);
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, out.data() + off, len - off, 0);
+        if (n == 0)
+            return FrameStatus::Error;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameStatus::Error;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    if (payload.empty() || payload.size() > UINT32_MAX)
+        return false;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::string buf;
+    buf.reserve(4 + payload.size());
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>(len >> (8 * i)));
+    buf.append(payload);
+    size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n = ::send(fd, buf.data() + off, buf.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace tbstc::serve

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bounded multi-producer / single-consumer request queue with
+ * back-pressure and drain semantics.
+ *
+ * Connection reader threads produce; the batcher thread consumes. The
+ * capacity bound is the daemon's back-pressure threshold: a full queue
+ * rejects the push immediately (the reader answers busy +
+ * retry-after instead of buffering unboundedly), so memory stays
+ * bounded no matter how fast clients submit.
+ *
+ * close() starts the drain: further pushes are refused with Closed
+ * (readers answer "shutting down") while popBatch() keeps returning
+ * queued items until the queue is empty, then returns an empty batch
+ * exactly once to signal the consumer to exit. Because pushes check
+ * the closed flag under the same mutex that popBatch holds, no item
+ * can slip in after the consumer has observed the drained state —
+ * every accepted request is answered.
+ */
+
+#ifndef TBSTC_SERVE_QUEUE_HPP
+#define TBSTC_SERVE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace tbstc::serve {
+
+/** Outcome of a producer push. */
+enum class PushResult : uint8_t
+{
+    Ok,     ///< Enqueued; the consumer will answer it.
+    Full,   ///< At capacity: reject with busy + retry-after.
+    Closed, ///< Draining: reject with a shutting-down error.
+};
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity > 0 ? capacity : 1)
+    {
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Enqueue @p item unless full or closed. Never blocks. */
+    PushResult
+    tryPush(T item)
+    {
+        {
+            const std::lock_guard lk(m_);
+            if (closed_)
+                return PushResult::Closed;
+            if (items_.size() >= capacity_)
+                return PushResult::Full;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return PushResult::Ok;
+    }
+
+    /**
+     * Pop up to @p max items, blocking while the queue is empty and
+     * open. An empty vector means closed-and-drained: the consumer
+     * should exit its loop.
+     */
+    std::vector<T>
+    popBatch(size_t max)
+    {
+        std::unique_lock lk(m_);
+        cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+        std::vector<T> batch;
+        const size_t take = items_.size() < max ? items_.size() : max;
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        return batch;
+    }
+
+    /** Refuse new pushes; wake the consumer to drain what remains. */
+    void
+    close()
+    {
+        {
+            const std::lock_guard lk(m_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        const std::lock_guard lk(m_);
+        return closed_;
+    }
+
+    size_t
+    depth() const
+    {
+        const std::lock_guard lk(m_);
+        return items_.size();
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace tbstc::serve
+
+#endif // TBSTC_SERVE_QUEUE_HPP

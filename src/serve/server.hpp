@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The `tbstc serve` daemon: concurrent request execution over the
+ * cached simulation pipeline.
+ *
+ * Thread architecture (one Server instance):
+ *
+ *   accept thread ──spawns──► one reader thread per connection
+ *        │                         │ parse + inline ping
+ *        │                         ▼
+ *        │                  BoundedQueue (back-pressure: full → busy)
+ *        │                         │
+ *        ▼                         ▼
+ *   wake pipe ◄──────────── batcher thread: pops a batch, dedups
+ *                           identical requests, executes distinct
+ *                           ones on the util/parallel pool, writes
+ *                           responses in completion order
+ *
+ * Why a single batcher instead of N independent workers: requests
+ * sharing an (accelerator, model, sparsity, ...) signature coalesce
+ * into one execution whose result fans out to every duplicate, and the
+ * distinct ones run as one deterministic parallel region — so the
+ * ContentStore/profile cache sees one miss per distinct key instead of
+ * a thundering herd, and obs recording happens only on the batcher or
+ * inside pool batches (whose completion synchronizes with the
+ * batcher), keeping metricsJson() export race-free without locks on
+ * the hot path. Reader threads never record obs metrics; their event
+ * counts are plain atomics mirrored into obs once at shutdown.
+ *
+ * Drain (SIGTERM → beginShutdown): stop accepting connections, close
+ * the queue (new frames answered "shutting_down"), let the batcher
+ * answer everything already accepted, then unblock readers and join.
+ * Every accepted request is answered before wait() returns.
+ */
+
+#ifndef TBSTC_SERVE_SERVER_HPP
+#define TBSTC_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "protocol.hpp"
+#include "queue.hpp"
+#include "util/result.hpp"
+
+namespace tbstc::serve {
+
+/** Server configuration (all knobs have serving-sane defaults). */
+struct ServerOptions
+{
+    /** Unix socket path; when empty, a TCP socket on 127.0.0.1. */
+    std::string socketPath;
+
+    /** TCP port (0 = ephemeral, read back via Server::port()). */
+    uint16_t tcpPort = 0;
+
+    /** Queue capacity = back-pressure threshold (full → busy). */
+    size_t queueCapacity = 256;
+
+    /** Max requests coalesced into one batcher execution. */
+    size_t maxBatch = 32;
+
+    /** retry_after_ms hint attached to busy rejections. */
+    uint64_t retryAfterMs = 50;
+
+    /** Per-frame payload cap for this server's connections. */
+    size_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+    /** When set, metricsJson(includeHost) is written here at drain. */
+    std::string metricsPath;
+
+    /**
+     * Test hook: invoked by the batcher with the batch size before
+     * executing it. A blocking hook holds the batcher so tests can
+     * fill the queue deterministically and observe busy rejections.
+     */
+    std::function<void(size_t)> batchHook;
+};
+
+/** Reader/acceptor event counts (plain atomics; see file comment). */
+struct ServerCounters
+{
+    uint64_t connections = 0;     ///< Connections ever accepted.
+    uint64_t accepted = 0;        ///< Requests enqueued successfully.
+    uint64_t pings = 0;           ///< Pings answered inline.
+    uint64_t busyRejected = 0;    ///< Back-pressure rejections.
+    uint64_t drainRejected = 0;   ///< Rejections during drain.
+    uint64_t badRequests = 0;     ///< Parse/validation failures.
+    uint64_t badFrames = 0;       ///< Oversized/zero-length frames.
+    uint64_t answered = 0;        ///< Responses written by the batcher.
+    uint64_t dedupHits = 0;       ///< Requests answered by a batch twin.
+    uint64_t batches = 0;         ///< Batches executed.
+};
+
+/**
+ * One accepted connection. Reader thread reads frames; responses may
+ * be written by the reader (ping, rejections) or the batcher, so
+ * writes are serialized by the per-connection mutex. The fd is owned
+ * here and closed with the last shared_ptr, so a response to a
+ * request that outlived its reader still has a live socket.
+ */
+class Conn
+{
+  public:
+    explicit Conn(int fd) : fd_(fd) {}
+    ~Conn();
+    Conn(const Conn &) = delete;
+    Conn &operator=(const Conn &) = delete;
+
+    int fd() const { return fd_; }
+
+    /** Write one response frame (mutex-serialized). */
+    bool send(std::string_view payload);
+
+    /** shutdown(2) both directions: wakes a blocked reader. */
+    void shutdownBoth();
+
+  private:
+    int fd_;
+    std::mutex writeMutex_;
+};
+
+/** One queued request: the parsed request plus its reply channel. */
+struct PendingRequest
+{
+    std::shared_ptr<Conn> conn;
+    Request req;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and spawn the accept + batcher threads.
+     * @return the bound TCP port (0 for unix sockets), or a
+     *         human-readable error.
+     */
+    util::Result<uint16_t, std::string> start();
+
+    /**
+     * Begin the drain: refuse new connections and new requests,
+     * answer everything already accepted. Idempotent, callable from
+     * any thread (but not from a signal handler — give SIGTERM to a
+     * sigwait thread that calls this; see cli serve).
+     */
+    void beginShutdown();
+
+    /**
+     * Block until the drain completes and every thread has joined.
+     * Returns immediately if start() failed or was never called.
+     * After wait(): counters are final, reader-side counts have been
+     * mirrored into obs, and metricsPath (if set) has been written.
+     */
+    void wait();
+
+    /** Bound TCP port after start() (0 for unix sockets). */
+    uint16_t port() const { return port_; }
+
+    /** Snapshot of the event counters (safe from any thread). */
+    ServerCounters counters() const;
+
+  private:
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Conn> conn,
+                    std::shared_ptr<std::atomic<bool>> done);
+    void batcherLoop();
+    void executeBatch(std::vector<PendingRequest> &batch);
+    std::string statsJson() const;
+
+    ServerOptions opts_;
+    int listenFd_ = -1;
+    int wakeFds_[2] = {-1, -1}; ///< Self-pipe waking the accept poll.
+    uint16_t port_ = 0;
+    bool started_ = false;
+
+    BoundedQueue<PendingRequest> queue_;
+    std::atomic<bool> draining_{false};
+
+    std::thread acceptThread_;
+    std::thread batcherThread_;
+
+    /** One connection's reader thread, pruned once marked done. */
+    struct ReaderSlot
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done =
+            std::make_shared<std::atomic<bool>>(false);
+    };
+    mutable std::mutex connsMutex_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::vector<ReaderSlot> readers_;
+
+    std::atomic<uint64_t> connections_{0};
+    std::atomic<uint64_t> acceptedReqs_{0};
+    std::atomic<uint64_t> pings_{0};
+    std::atomic<uint64_t> busyRejected_{0};
+    std::atomic<uint64_t> drainRejected_{0};
+    std::atomic<uint64_t> badRequests_{0};
+    std::atomic<uint64_t> badFrames_{0};
+    std::atomic<uint64_t> answered_{0};
+    std::atomic<uint64_t> dedupHits_{0};
+    std::atomic<uint64_t> batches_{0};
+};
+
+} // namespace tbstc::serve
+
+#endif // TBSTC_SERVE_SERVER_HPP

@@ -137,6 +137,13 @@ class ThreadPool
 
     size_t workers() const { return workers_; }
 
+    /** Block until the in-flight batch (if any) has completed. */
+    void
+    quiesce()
+    {
+        const std::lock_guard lk(submit_m_);
+    }
+
     /** Execute a batch, blocking until every chunk has completed. */
     void
     run(size_t chunks, const std::function<void(size_t)> &fn)
@@ -238,12 +245,25 @@ class ThreadPool
  * concurrent resize swaps a new pool in here, and the displaced pool
  * is destroyed (workers joined) only when its last user finishes.
  */
+std::mutex &
+poolMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::shared_ptr<ThreadPool> &
+poolSlot()
+{
+    static std::shared_ptr<ThreadPool> pool;
+    return pool;
+}
+
 std::shared_ptr<ThreadPool>
 globalPool(size_t want)
 {
-    static std::mutex pool_m;
-    static std::shared_ptr<ThreadPool> pool;
-    std::lock_guard lk(pool_m);
+    std::lock_guard lk(poolMutex());
+    std::shared_ptr<ThreadPool> &pool = poolSlot();
     if (!pool || pool->workers() != want)
         pool = std::make_shared<ThreadPool>(want);
     return pool;
@@ -281,6 +301,39 @@ ThreadScope::~ThreadScope()
 {
     if (active_)
         thread_override = saved_;
+}
+
+void
+drainPool()
+{
+    if (inside_pool)
+        return; // The caller *is* the in-flight work.
+    std::shared_ptr<ThreadPool> pool;
+    {
+        std::lock_guard lk(poolMutex());
+        pool = poolSlot();
+    }
+    if (pool)
+        pool->quiesce();
+}
+
+void
+shutdownPool()
+{
+    ensure(!inside_pool,
+           "shutdownPool() must not be called from a parallel region");
+    std::shared_ptr<ThreadPool> pool;
+    {
+        std::lock_guard lk(poolMutex());
+        pool = std::move(poolSlot());
+        poolSlot().reset();
+    }
+    if (pool) {
+        // Quiescent-point contract: we hold the only reference, so the
+        // destructor runs here and joins every worker before return.
+        pool->quiesce();
+        pool.reset();
+    }
 }
 
 void

@@ -71,6 +71,27 @@ class ThreadScope
 };
 
 /**
+ * Block until any in-flight batch on the shared pool has completed.
+ * After drainPool() returns, every chunk body submitted by other
+ * threads before the call has finished executing (the pool may accept
+ * new batches immediately after). Safe to call when no pool exists or
+ * from a pool worker (then a no-op: the caller is the in-flight work).
+ */
+void drainPool();
+
+/**
+ * Join the shared pool's workers and destroy it; the next parallel
+ * region lazily rebuilds one. This replaces destructor-order-dependent
+ * teardown: long-running processes (the serve daemon) call it after
+ * draining their work so pool exit is deterministic, and one-shot
+ * tools call it at the end of main. Quiescent-point operation: no
+ * other thread may be submitting parallel regions during the call,
+ * and it must not be called from inside a parallel region.
+ * Idempotent; safe when no pool was ever built.
+ */
+void shutdownPool();
+
+/**
  * Execute @p chunk for every index in [0, chunks) on the shared pool,
  * blocking until all complete. Chunks may run in any order and
  * concurrently; the first exception (lowest chunk index) is rethrown

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ContentStore cross-process contention test.
+ *
+ * Two child processes (re-executions of this test binary, selected via
+ * TBSTC_XPROC_* env vars) hammer one shared cache directory — the same
+ * situation as two `tbstc` invocations pointed at the same
+ * --profile-cache dir. Each child runs several rounds of getOrCompute
+ * over an identical key set, clearing its memory map between rounds so
+ * later rounds must go through the disk store while the sibling may be
+ * mid-write to the very same blobs. The temp-file + atomic-rename
+ * protocol promises readers only ever observe complete blobs, so every
+ * payload either validates bit-exactly or misses cleanly — never a
+ * torn read.
+ *
+ * The child reports a CRC folded over every payload it observed; the
+ * parent requires both children to agree and to match its own
+ * recomputation, then re-reads every blob from disk through a fresh
+ * store to confirm all keys landed and validate.
+ *
+ * Note: the helper lives in its own suite (ContentStoreXProcChild) so
+ * a `ContentStore.*` gtest filter never runs it; without the env vars
+ * it skips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+#include <unistd.h>
+
+#include "util/contentstore.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using tbstc::util::CacheOutcome;
+using tbstc::util::ContentStore;
+
+constexpr const char *kKind = "xproc";
+constexpr uint64_t kKeys = 24;
+constexpr int kRounds = 6;
+
+/** Deterministic payload for a key — identical across processes. */
+std::vector<uint8_t>
+payloadFor(uint64_t key)
+{
+    tbstc::util::Rng rng(0x9e3779b9u ^ key);
+    std::vector<uint8_t> bytes(64 + (key % 192));
+    for (auto &b : bytes)
+        b = static_cast<uint8_t>(rng.next());
+    return bytes;
+}
+
+/** CRC folded over the payloads of every key, in key order. */
+uint32_t
+foldedCrc(const std::function<std::vector<uint8_t>(uint64_t)> &fetch)
+{
+    uint32_t crc = 0;
+    for (uint64_t key = 0; key < kKeys; ++key) {
+        const std::vector<uint8_t> p = fetch(key);
+        crc = tbstc::util::crc32(p, crc);
+    }
+    return crc;
+}
+
+/**
+ * Child body: rounds of getOrCompute against the shared dir with the
+ * memory map dropped between rounds, so disk reads race the sibling's
+ * writes. Prints one machine-readable line the parent scrapes.
+ */
+TEST(ContentStoreXProcChild, Run)
+{
+    const char *dir = std::getenv("TBSTC_XPROC_DIR");
+    if (dir == nullptr || *dir == '\0')
+        GTEST_SKIP() << "helper: run via ContentStoreXProc parent";
+
+    ContentStore store;
+    store.setDiskDir(dir);
+    uint32_t crc = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        crc = foldedCrc([&](uint64_t key) {
+            auto [payload, outcome] = store.getOrCompute(
+                kKind, key, [key] { return payloadFor(key); });
+            EXPECT_NE(outcome, CacheOutcome::Disabled);
+            return payload;
+        });
+        store.clearMemory();
+    }
+    const ContentStore::Stats s = store.stats();
+    // Rounds after the first hit disk (or recompute past a racing
+    // writer); either way every payload validated against the CRC.
+    std::printf("XPROC_RESULT crc=%08x diskhits=%llu puts=%llu "
+                "rejects=%llu\n",
+                crc,
+                static_cast<unsigned long long>(s.diskHits),
+                static_cast<unsigned long long>(s.puts),
+                static_cast<unsigned long long>(s.diskRejects));
+    std::fflush(stdout);
+}
+
+/** A reaped child: captured stdout + exit status. */
+struct ChildRun
+{
+    std::string output;
+    int status = -1;
+};
+
+TEST(ContentStoreXProc, TwoProcessesShareOneCacheDir)
+{
+    const std::string dir =
+        testing::TempDir() + "tbstc-xproc-"
+        + std::to_string(static_cast<unsigned long long>(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    // Start both children before reaping either, so their rounds
+    // genuinely overlap on the shared directory.
+    const std::string exe =
+        std::filesystem::read_symlink("/proc/self/exe").string();
+    std::vector<FILE *> pipes;
+    for (int child = 0; child < 2; ++child) {
+        const std::string cmd =
+            "TBSTC_XPROC_DIR='" + dir + "' '" + exe
+            + "' --gtest_filter=ContentStoreXProcChild.Run 2>&1";
+        FILE *pipe = ::popen(cmd.c_str(), "r");
+        ASSERT_NE(pipe, nullptr);
+        pipes.push_back(pipe);
+    }
+    std::vector<ChildRun> runs;
+    for (FILE *pipe : pipes) {
+        ChildRun run;
+        char buf[512];
+        while (std::fgets(buf, sizeof buf, pipe) != nullptr)
+            run.output += buf;
+        run.status = ::pclose(pipe);
+        runs.push_back(std::move(run));
+    }
+
+    // The expected fold: payloads computed locally, no store at all.
+    const uint32_t want = foldedCrc(payloadFor);
+    char wantLine[64];
+    std::snprintf(wantLine, sizeof wantLine, "crc=%08x", want);
+
+    for (const ChildRun &run : runs) {
+        EXPECT_EQ(run.status, 0) << run.output;
+        EXPECT_NE(run.output.find("XPROC_RESULT"), std::string::npos)
+            << run.output;
+        EXPECT_NE(run.output.find(wantLine), std::string::npos)
+            << "child observed different payload bytes:\n"
+            << run.output;
+        EXPECT_NE(run.output.find("rejects=0"), std::string::npos)
+            << "child rejected a disk blob under contention:\n"
+            << run.output;
+    }
+
+    // Every key must have landed on disk as a validating blob, and a
+    // fresh store (third "process") must serve all of them from disk.
+    ContentStore reader;
+    reader.setDiskDir(dir);
+    for (uint64_t key = 0; key < kKeys; ++key) {
+        const auto blob = reader.get(kKind, key);
+        ASSERT_TRUE(blob.has_value()) << "missing blob for key " << key;
+        EXPECT_EQ(*blob, payloadFor(key)) << "key " << key;
+    }
+    EXPECT_EQ(reader.stats().diskHits, kKeys);
+    EXPECT_EQ(reader.stats().diskRejects, 0u);
+
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace

@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Serve daemon tests: JSON parser, wire protocol, bounded queue,
+ * and end-to-end server behavior (byte-identity with the one-shot
+ * path, back-pressure, drain semantics).
+ *
+ * The end-to-end tests speak the real protocol over real sockets but
+ * stay deterministic: the batcher test hook lets a test hold the
+ * batcher so queue fill, busy rejection, and drain ordering are exact,
+ * not timing-dependent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "accel/accelerator.hpp"
+#include "serve/exec.hpp"
+#include "serve/jsonv.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace tbstc;
+using namespace tbstc::serve;
+
+// ---------------------------------------------------------------- jsonv
+
+TEST(ServeJson, ParsesScalarsObjectsAndArrays)
+{
+    const auto doc = parseJson(
+        R"({"a": 1.5, "b": "x\ny", "c": [true, false, null], "d": {}})");
+    ASSERT_TRUE(doc.ok());
+    EXPECT_DOUBLE_EQ(doc->get("a").asNumber(), 1.5);
+    EXPECT_EQ(doc->get("b").asString(), "x\ny");
+    EXPECT_EQ(doc->get("c").asArray().size(), 3u);
+    EXPECT_TRUE(doc->get("c").asArray()[0].asBool(false));
+    EXPECT_TRUE(doc->get("d").isObject());
+    EXPECT_FALSE(doc->has("missing"));
+}
+
+TEST(ServeJson, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(parseJson("").ok());
+    EXPECT_FALSE(parseJson("{").ok());
+    EXPECT_FALSE(parseJson("{\"a\": }").ok());
+    EXPECT_FALSE(parseJson("[1, 2,]").ok());
+    EXPECT_FALSE(parseJson("{\"a\": 1} trailing").ok());
+    EXPECT_FALSE(parseJson("nul").ok());
+    EXPECT_FALSE(parseJson("\"unterminated").ok());
+}
+
+TEST(ServeJson, DepthIsBounded)
+{
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += "[";
+    const auto doc = parseJson(deep);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_NE(doc.error().message.find("deep"), std::string::npos);
+}
+
+TEST(ServeJson, UnicodeEscapesDecodeToUtf8)
+{
+    const auto doc = parseJson(R"({"s": "é中"})");
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->get("s").asString(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(ServeJson, QuoteAndParseRoundTrip)
+{
+    const std::string nasty = "a\"b\\c\n\t\x01z";
+    const auto doc = parseJson("{\"k\": " + jsonQuote(nasty) + "}");
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->get("k").asString(), nasty);
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, RequestRoundTripsThroughSerialization)
+{
+    Request req;
+    req.id = 7;
+    req.op = Op::Run;
+    req.run.kind = accel::AccelKind::STC;
+    req.run.layer = "256x128x2";
+    req.run.sparsity = 0.75;
+    req.run.seed = 9;
+    req.run.bw = 100.0;
+    const auto parsed = parseRequest(serializeRequest(req));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->id, 7u);
+    EXPECT_EQ(parsed->op, Op::Run);
+    EXPECT_EQ(parsed->run.kind, accel::AccelKind::STC);
+    EXPECT_EQ(parsed->run.layer, "256x128x2");
+    EXPECT_DOUBLE_EQ(parsed->run.sparsity, 0.75);
+    EXPECT_EQ(parsed->run.seed, 9u);
+    ASSERT_TRUE(parsed->run.bw.has_value());
+    EXPECT_DOUBLE_EQ(*parsed->run.bw, 100.0);
+}
+
+TEST(ServeProtocol, ValidationErrorsCarryTheRequestId)
+{
+    const auto bad = parseRequest(
+        R"({"id": 42, "op": "run", "accel": "nope", "layer": "8x8x1"})");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().id, 42u);
+    EXPECT_NE(bad.error().message.find("nope"), std::string::npos);
+
+    EXPECT_FALSE(parseRequest("{\"op\": \"run\"}").ok());
+    EXPECT_FALSE(parseRequest("{\"op\": \"warp\"}").ok());
+    EXPECT_FALSE(parseRequest("not json").ok());
+    EXPECT_FALSE(
+        parseRequest(
+            R"({"op": "run", "accel": "tbstc", "layer": "8x8x1",
+                "sparsity": 1.5})")
+            .ok());
+    EXPECT_FALSE(
+        parseRequest(R"({"op": "sparsify", "layer": "bad"})").ok());
+}
+
+TEST(ServeProtocol, UnknownFieldsAreIgnored)
+{
+    const auto parsed = parseRequest(
+        R"({"op": "ping", "future_field": {"x": [1, 2]}})");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->op, Op::Ping);
+}
+
+TEST(ServeProtocol, FramesRoundTripOverASocketPair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const std::string payload = "{\"op\": \"ping\"}";
+    ASSERT_TRUE(writeFrame(fds[0], payload));
+    std::string got;
+    EXPECT_EQ(readFrame(fds[1], got), FrameStatus::Ok);
+    EXPECT_EQ(got, payload);
+
+    // Orderly close surfaces as Eof before a length prefix.
+    ::close(fds[0]);
+    EXPECT_EQ(readFrame(fds[1], got), FrameStatus::Eof);
+    ::close(fds[1]);
+}
+
+TEST(ServeProtocol, OversizedFrameIsRejected)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // Hand-craft a header whose length exceeds the cap.
+    const uint8_t hdr[4] = {0xff, 0xff, 0xff, 0x7f};
+    ASSERT_EQ(::send(fds[0], hdr, 4, 0), 4);
+    std::string got;
+    EXPECT_EQ(readFrame(fds[1], got, 1 << 10), FrameStatus::TooBig);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(ServeQueue, BackPressureAndDrainSemantics)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_EQ(q.tryPush(1), PushResult::Ok);
+    EXPECT_EQ(q.tryPush(2), PushResult::Ok);
+    EXPECT_EQ(q.tryPush(3), PushResult::Full);
+    EXPECT_EQ(q.depth(), 2u);
+
+    q.close();
+    EXPECT_EQ(q.tryPush(4), PushResult::Closed);
+
+    // Drain continues to hand out queued items after close...
+    const auto batch = q.popBatch(8);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0], 1);
+    EXPECT_EQ(batch[1], 2);
+    // ...and then signals completion with an empty batch.
+    EXPECT_TRUE(q.popBatch(8).empty());
+}
+
+TEST(ServeQueue, PopBlocksUntilPushOrClose)
+{
+    BoundedQueue<int> q(4);
+    std::thread producer([&] { q.tryPush(11); });
+    const auto batch = q.popBatch(2);
+    producer.join();
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], 11);
+}
+
+// ----------------------------------------------------------- end-to-end
+
+/** Client half of the protocol for tests: one blocking connection. */
+class TestClient
+{
+  public:
+    explicit TestClient(uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        connected_ =
+            fd_ >= 0
+            && ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr)
+                == 0;
+    }
+    ~TestClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connected() const { return connected_; }
+    bool send(const Request &req)
+    {
+        return writeFrame(fd_, serializeRequest(req));
+    }
+    bool sendRaw(std::string_view payload)
+    {
+        return writeFrame(fd_, payload);
+    }
+
+    /** Read one response; returns the parsed document. */
+    JsonValue recv()
+    {
+        std::string frame;
+        if (readFrame(fd_, frame) != FrameStatus::Ok)
+            return {};
+        auto doc = parseJson(frame);
+        return doc.ok() ? *std::move(doc) : JsonValue{};
+    }
+
+  private:
+    int fd_ = -1;
+    bool connected_ = false;
+};
+
+/** Spin until the server has accepted @p n requests into the queue. */
+void
+awaitAccepted(const Server &server, uint64_t n)
+{
+    while (server.counters().accepted < n)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+Request
+runRequest(uint64_t id, const std::string &layer, double sparsity)
+{
+    Request req;
+    req.id = id;
+    req.op = Op::Run;
+    req.run.kind = accel::AccelKind::TbStc;
+    req.run.layer = layer;
+    req.run.sparsity = sparsity;
+    return req;
+}
+
+TEST(ServeServer, RunResponseIsByteIdenticalToOneShot)
+{
+    ServerOptions opts;
+    Server server(opts);
+    const auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error();
+
+    TestClient client(*started);
+    ASSERT_TRUE(client.connected());
+
+    const Request req = runRequest(3, "64x64x1", 0.5);
+    ASSERT_TRUE(client.send(req));
+    const JsonValue resp = client.recv();
+    ASSERT_TRUE(resp.get("ok").asBool(false));
+    EXPECT_DOUBLE_EQ(resp.get("id").asNumber(), 3.0);
+
+    // The acceptance bar: the daemon's csv field must be the exact
+    // bytes the one-shot path prints for the same spec — including
+    // the display label `tbstc run` uses.
+    const std::string expected = formatStats(
+        accel::accelName(req.run.kind), executeRun(req.run), true);
+    EXPECT_EQ(resp.get("result").get("csv").asString(), expected);
+
+    server.beginShutdown();
+    server.wait();
+    EXPECT_EQ(server.counters().answered, 1u);
+}
+
+TEST(ServeServer, SparsifyPingStatsAndBadRequests)
+{
+    ServerOptions opts;
+    Server server(opts);
+    const auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error();
+
+    TestClient client(*started);
+    ASSERT_TRUE(client.connected());
+
+    // Ping is answered inline by the reader.
+    Request ping;
+    ping.id = 1;
+    ping.op = Op::Ping;
+    ASSERT_TRUE(client.send(ping));
+    JsonValue resp = client.recv();
+    EXPECT_TRUE(resp.get("ok").asBool(false));
+    EXPECT_TRUE(resp.get("result").get("pong").asBool(false));
+
+    // Sparsify reports the DDC summary; the CRC must match the
+    // in-process execution (shared code, same bytes).
+    Request sp;
+    sp.id = 2;
+    sp.op = Op::Sparsify;
+    sp.sparsify.layer = "64x64x1";
+    sp.sparsify.sparsity = 0.75;
+    ASSERT_TRUE(client.send(sp));
+    resp = client.recv();
+    ASSERT_TRUE(resp.get("ok").asBool(false));
+    const auto local = executeSparsify(sp.sparsify);
+    EXPECT_DOUBLE_EQ(resp.get("result").get("ddc_crc32").asNumber(),
+                     static_cast<double>(local.ddcCrc32));
+    EXPECT_DOUBLE_EQ(resp.get("result").get("nnz").asNumber(),
+                     static_cast<double>(local.nnz));
+
+    // Stats responses carry the server section and embedded metrics.
+    Request st;
+    st.id = 3;
+    st.op = Op::Stats;
+    ASSERT_TRUE(client.send(st));
+    resp = client.recv();
+    ASSERT_TRUE(resp.get("ok").asBool(false));
+    const JsonValue &stats = resp.get("result");
+    EXPECT_EQ(stats.get("schema").asString(), "tbstc.serve.stats.v1");
+    EXPECT_GE(stats.get("server").get("accepted").asNumber(), 2.0);
+    EXPECT_TRUE(stats.get("metrics").isObject());
+
+    // A malformed request gets a bad_request answer with its id and
+    // does not kill the connection.
+    ASSERT_TRUE(client.sendRaw(
+        R"({"id": 9, "op": "run", "accel": "bogus", "layer": "8x8x1"})"));
+    resp = client.recv();
+    EXPECT_FALSE(resp.get("ok").asBool(true));
+    EXPECT_EQ(resp.get("kind").asString(), "bad_request");
+    EXPECT_DOUBLE_EQ(resp.get("id").asNumber(), 9.0);
+
+    Request again;
+    again.id = 10;
+    again.op = Op::Ping;
+    ASSERT_TRUE(client.send(again));
+    EXPECT_TRUE(client.recv().get("ok").asBool(false));
+
+    server.beginShutdown();
+    server.wait();
+    const ServerCounters c = server.counters();
+    EXPECT_EQ(c.badRequests, 1u);
+    EXPECT_EQ(c.pings, 2u);
+}
+
+TEST(ServeServer, DuplicateRequestsCoalesceIntoOneExecution)
+{
+    // Hold the batcher through its first pop so all four duplicates
+    // land in one batch deterministically.
+    std::mutex m;
+    std::condition_variable cv;
+    bool entered = false;
+    bool release = false;
+
+    ServerOptions opts;
+    opts.maxBatch = 8;
+    opts.batchHook = [&](size_t) {
+        std::unique_lock lk(m);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lk, [&] { return release; });
+    };
+    Server server(opts);
+    const auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error();
+
+    TestClient client(*started);
+    ASSERT_TRUE(client.connected());
+
+    // First request occupies the batcher (hook blocks)...
+    ASSERT_TRUE(client.send(runRequest(1, "32x32x1", 0.5)));
+    {
+        std::unique_lock lk(m);
+        cv.wait(lk, [&] { return entered; });
+    }
+    // ...so these four land in the queue and form the second batch:
+    // three duplicates and one distinct request.
+    for (uint64_t id = 2; id <= 4; ++id)
+        ASSERT_TRUE(client.send(runRequest(id, "48x48x1", 0.5)));
+    ASSERT_TRUE(client.send(runRequest(5, "32x32x1", 0.75)));
+    awaitAccepted(server, 5);
+    {
+        std::lock_guard lk(m);
+        release = true;
+    }
+    cv.notify_all();
+
+    std::vector<std::string> csvs;
+    for (int i = 0; i < 5; ++i) {
+        const JsonValue resp = client.recv();
+        ASSERT_TRUE(resp.get("ok").asBool(false));
+        if (resp.get("id").asNumber() >= 2.0
+            && resp.get("id").asNumber() <= 4.0)
+            csvs.push_back(resp.get("result").get("csv").asString());
+    }
+    ASSERT_EQ(csvs.size(), 3u);
+    EXPECT_EQ(csvs[0], csvs[1]);
+    EXPECT_EQ(csvs[1], csvs[2]);
+
+    server.beginShutdown();
+    server.wait();
+    const ServerCounters c = server.counters();
+    EXPECT_EQ(c.answered, 5u);
+    EXPECT_EQ(c.dedupHits, 2u);
+}
+
+TEST(ServeServer, FullQueueAnswersBusyWithRetryAfter)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool entered = false;
+    bool release = false;
+
+    ServerOptions opts;
+    opts.queueCapacity = 2;
+    opts.maxBatch = 1;
+    opts.retryAfterMs = 77;
+    opts.batchHook = [&](size_t) {
+        std::unique_lock lk(m);
+        entered = true;
+        cv.notify_all();
+        cv.wait(lk, [&] { return release; });
+        entered = false;
+    };
+    Server server(opts);
+    const auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error();
+
+    TestClient client(*started);
+    ASSERT_TRUE(client.connected());
+
+    // One request held in the batcher, two filling the queue...
+    ASSERT_TRUE(client.send(runRequest(1, "16x16x1", 0.5)));
+    {
+        std::unique_lock lk(m);
+        cv.wait(lk, [&] { return entered; });
+    }
+    ASSERT_TRUE(client.send(runRequest(2, "16x16x1", 0.5)));
+    ASSERT_TRUE(client.send(runRequest(3, "16x16x1", 0.5)));
+    // ...so the fourth is rejected with busy + the retry hint.
+    ASSERT_TRUE(client.send(runRequest(4, "16x16x1", 0.5)));
+    const JsonValue busy = client.recv();
+    EXPECT_FALSE(busy.get("ok").asBool(true));
+    EXPECT_EQ(busy.get("kind").asString(), "busy");
+    EXPECT_DOUBLE_EQ(busy.get("id").asNumber(), 4.0);
+    EXPECT_DOUBLE_EQ(busy.get("retry_after_ms").asNumber(), 77.0);
+
+    {
+        std::lock_guard lk(m);
+        release = true;
+    }
+    cv.notify_all();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(client.recv().get("ok").asBool(false));
+
+    server.beginShutdown();
+    server.wait();
+    EXPECT_EQ(server.counters().busyRejected, 1u);
+    EXPECT_EQ(server.counters().answered, 3u);
+}
+
+TEST(ServeServer, DrainAnswersAcceptedAndRefusesNew)
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool entered = false;
+    bool release = false;
+
+    ServerOptions opts;
+    opts.maxBatch = 2;
+    opts.batchHook = [&](size_t) {
+        std::unique_lock lk(m);
+        if (!entered) {
+            entered = true;
+            cv.notify_all();
+            cv.wait(lk, [&] { return release; });
+        }
+    };
+    Server server(opts);
+    const auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error();
+
+    TestClient client(*started);
+    ASSERT_TRUE(client.connected());
+
+    // Five accepted requests: some held in the first batch, the rest
+    // queued behind it when the drain begins.
+    ASSERT_TRUE(client.send(runRequest(1, "16x16x1", 0.5)));
+    {
+        std::unique_lock lk(m);
+        cv.wait(lk, [&] { return entered; });
+    }
+    for (uint64_t id = 2; id <= 5; ++id)
+        ASSERT_TRUE(client.send(runRequest(id, "16x16x1", 0.5)));
+    awaitAccepted(server, 5);
+
+    server.beginShutdown();
+
+    // A frame arriving during the drain is refused, not dropped.
+    ASSERT_TRUE(client.send(runRequest(6, "16x16x1", 0.5)));
+    const JsonValue refused = client.recv();
+    EXPECT_FALSE(refused.get("ok").asBool(true));
+    EXPECT_EQ(refused.get("kind").asString(), "shutting_down");
+    EXPECT_DOUBLE_EQ(refused.get("id").asNumber(), 6.0);
+
+    {
+        std::lock_guard lk(m);
+        release = true;
+    }
+    cv.notify_all();
+
+    // Every accepted request is answered before wait() returns.
+    std::vector<double> ids;
+    for (int i = 0; i < 5; ++i) {
+        const JsonValue resp = client.recv();
+        EXPECT_TRUE(resp.get("ok").asBool(false));
+        ids.push_back(resp.get("id").asNumber());
+    }
+    server.wait();
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, (std::vector<double>{1, 2, 3, 4, 5}));
+    const ServerCounters c = server.counters();
+    EXPECT_EQ(c.accepted, 5u);
+    EXPECT_EQ(c.answered, 5u);
+    EXPECT_EQ(c.drainRejected, 1u);
+}
+
+TEST(ServeServer, UnixSocketRoundTrip)
+{
+    const std::string path = testing::TempDir() + "tbstc-serve-"
+        + std::to_string(::getpid()) + ".sock";
+    ServerOptions opts;
+    opts.socketPath = path;
+    Server server(opts);
+    const auto started = server.start();
+    ASSERT_TRUE(started.ok()) << started.error();
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                  path.c_str());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    Request ping;
+    ping.id = 5;
+    ping.op = Op::Ping;
+    ASSERT_TRUE(writeFrame(fd, serializeRequest(ping)));
+    std::string frame;
+    ASSERT_EQ(readFrame(fd, frame), FrameStatus::Ok);
+    const auto doc = parseJson(frame);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_TRUE(doc->get("ok").asBool(false));
+    ::close(fd);
+
+    server.beginShutdown();
+    server.wait();
+    // The socket file is removed by the drain.
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServeLoadgen, MixIsDeterministicAndCommandsPrintable)
+{
+    const auto a = buildMix(50, 7);
+    const auto b = buildMix(50, 7);
+    ASSERT_EQ(a.size(), 50u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(serializeRequest(a[i]), serializeRequest(b[i]));
+        EXPECT_EQ(a[i].id, i + 1);
+        EXPECT_FALSE(oneShotCommand(a[i]).empty());
+    }
+    // A different seed must change the mix.
+    const auto c = buildMix(50, 8);
+    bool differs = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        differs = differs
+            || serializeRequest(a[i]) != serializeRequest(c[i]);
+    EXPECT_TRUE(differs);
+}
+
+} // namespace

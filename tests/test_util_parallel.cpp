@@ -12,6 +12,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/parallel.hpp"
@@ -232,6 +233,63 @@ TEST(Parallel, EmptyAndSingleRanges)
                   0, 4, -7, [](size_t, size_t) { return 0; },
                   [](int a, int b) { return a + b; }),
               -7);
+}
+
+TEST(Parallel, ShutdownPoolJoinsAndRebuildsLazily)
+{
+    util::ThreadScope scope(4);
+    const auto sum = [] {
+        return util::orderedReduce<uint64_t>(
+            1000, 10, uint64_t{0},
+            [](size_t b, size_t e) {
+                uint64_t acc = 0;
+                for (size_t i = b; i < e; ++i)
+                    acc += i;
+                return acc;
+            },
+            [](uint64_t a, uint64_t b) { return a + b; });
+    };
+    EXPECT_EQ(sum(), 499500u);
+    util::shutdownPool();
+    // The next region rebuilds the pool transparently.
+    EXPECT_EQ(sum(), 499500u);
+    util::shutdownPool();
+    util::shutdownPool(); // Idempotent; no pool to destroy.
+    EXPECT_EQ(sum(), 499500u);
+    util::shutdownPool();
+}
+
+TEST(Parallel, DrainPoolWaitsForSubmittedWork)
+{
+    util::ThreadScope scope(4);
+    util::drainPool(); // No pool yet: no-op.
+    std::atomic<int> done{0};
+    std::thread submitter([&] {
+        util::ThreadScope inner(4);
+        util::parallelFor(64, 1, [&](size_t, size_t) {
+            done.fetch_add(1);
+        });
+    });
+    submitter.join();
+    util::drainPool(); // Pool idle again: returns immediately.
+    EXPECT_EQ(done.load(), 64);
+    util::shutdownPool();
+}
+
+TEST(Parallel, DrainInsideRegionIsNoopAndShutdownRefuses)
+{
+    util::ThreadScope scope(4);
+    std::atomic<int> panics{0};
+    util::parallelFor(8, 1, [&](size_t, size_t) {
+        util::drainPool(); // Caller is the in-flight work: no-op.
+        try {
+            util::shutdownPool();
+        } catch (const util::PanicError &) {
+            panics.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(panics.load(), 8);
+    util::shutdownPool();
 }
 
 } // namespace

@@ -62,22 +62,27 @@ def doc_times(doc, path):
     return {n: min(v) for n, v in samples.items()}
 
 
-def resolve_baseline(baseline_arg, current_isa):
+def resolve_baseline(baseline_arg, current_isa, prefix):
     """Map a baseline directory to its per-ISA file; pass files through."""
     if not os.path.isdir(baseline_arg):
         return baseline_arg
     if current_isa is None:
         print("check_perf: baseline is a directory but the current run "
-              "has no context.tbstc_isa field (bench_kernels too old?)",
+              f"has no context.tbstc_isa field ({prefix} too old?)",
               file=sys.stderr)
         sys.exit(2)
-    path = os.path.join(baseline_arg, f"bench_kernels-{current_isa}.json")
+    path = os.path.join(baseline_arg, f"{prefix}-{current_isa}.json")
     if not os.path.isfile(path):
-        have = sorted(n for n in os.listdir(baseline_arg)
-                      if n.startswith("bench_kernels-") and
+        have = sorted(n[len(prefix) + 1:-len(".json")]
+                      for n in os.listdir(baseline_arg)
+                      if n.startswith(prefix + "-") and
                       n.endswith(".json"))
         print(f"check_perf: no baseline for ISA '{current_isa}' "
-              f"(missing {path}; available: {', '.join(have) or 'none'})",
+              f"(missing {path})\n"
+              f"check_perf: available ISAs: {', '.join(have) or 'none'}\n"
+              f"check_perf: record one on this machine with: "
+              f"{prefix} --json run.json && "
+              f"tools/make_baseline.py run.json -o {path}",
               file=sys.stderr)
         sys.exit(2)
     print(f"check_perf: ISA '{current_isa}' -> baseline {path}")
@@ -92,11 +97,17 @@ def main():
                          "baselines (bench_kernels-<isa>.json)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed normalized slowdown (default 0.25)")
+    ap.add_argument("--prefix", default="bench_kernels",
+                    help="baseline filename prefix when BASELINE is a "
+                         "directory: <prefix>-<isa>.json (default "
+                         "bench_kernels; use bench_serve for the serve "
+                         "daemon benchmarks)")
     args = ap.parse_args()
 
     current_doc = load_doc(args.current)
     current_isa = doc_isa(current_doc)
-    baseline_path = resolve_baseline(args.baseline, current_isa)
+    baseline_path = resolve_baseline(args.baseline, current_isa,
+                                     args.prefix)
     baseline_doc = load_doc(baseline_path)
     baseline_isa = doc_isa(baseline_doc)
 

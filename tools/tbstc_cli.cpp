@@ -9,6 +9,13 @@
  *   fsck     validate a serialized DDC stream, report decode errors
  *   area     area/power breakdown of an accelerator
  *   cpuinfo  detected CPU features and the dispatched kernel table
+ *   serve    daemon answering run/sparsify requests over a socket
+ *   loadgen  drive a serve daemon with a deterministic request mix
+ *
+ * run and serve share the execution layer in src/serve/exec.*, so a
+ * daemon response's csv field is byte-identical to the one-shot
+ * `tbstc run --csv` data line for the same parameters (see
+ * docs/serving.md).
  *
  * Every subcommand declares its flags in a util::FlagSet, so parsing,
  * validation, and `tbstc help <command>` output all come from one
@@ -29,11 +36,13 @@
  *   tbstc area --accel tbstc
  */
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/accelerator.hpp"
@@ -43,6 +52,9 @@
 #include "format/encoding.hpp"
 #include "format/serialize.hpp"
 #include "obs/obs.hpp"
+#include "serve/exec.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
 #include "sim/dram.hpp"
 #include "sim/energy.hpp"
 #include "util/contentstore.hpp"
@@ -62,55 +74,24 @@ fail(const std::string &msg)
     std::exit(2);
 }
 
+// Name parsing lives in serve/exec (shared with the daemon); the CLI
+// wrappers keep the historical exit-2 behavior on bad input.
 accel::AccelKind
 parseAccel(const std::string &name)
 {
-    static const std::map<std::string, accel::AccelKind> kinds{
-        {"tc", accel::AccelKind::TC},
-        {"stc", accel::AccelKind::STC},
-        {"vegeta", accel::AccelKind::Vegeta},
-        {"highlight", accel::AccelKind::HighLight},
-        {"rmstc", accel::AccelKind::RmStc},
-        {"sgcn", accel::AccelKind::Sgcn},
-        {"tbstc", accel::AccelKind::TbStc},
-        {"fan", accel::AccelKind::TbStcFan},
-    };
-    const auto it = kinds.find(name);
-    if (it == kinds.end())
+    const auto kind = serve::tryParseAccel(name);
+    if (!kind)
         fail("unknown accelerator '" + name + "'");
-    return it->second;
-}
-
-workload::ModelId
-parseModel(const std::string &name)
-{
-    static const std::map<std::string, workload::ModelId> models{
-        {"resnet50", workload::ModelId::ResNet50},
-        {"resnet18", workload::ModelId::ResNet18},
-        {"bert", workload::ModelId::BertBase},
-        {"opt", workload::ModelId::Opt67b},
-        {"llama", workload::ModelId::Llama27b},
-    };
-    const auto it = models.find(name);
-    if (it == models.end())
-        fail("unknown model '" + name + "'");
-    return it->second;
+    return *kind;
 }
 
 workload::GemmShape
 parseLayer(const std::string &spec)
 {
-    // "XxYxNB"
-    uint64_t x = 0;
-    uint64_t y = 0;
-    uint64_t nb = 0;
-    if (std::sscanf(spec.c_str(), "%llux%llux%llu",
-                    reinterpret_cast<unsigned long long *>(&x),
-                    reinterpret_cast<unsigned long long *>(&y),
-                    reinterpret_cast<unsigned long long *>(&nb))
-        != 3)
+    const auto shape = serve::tryParseLayer(spec, "cli.layer");
+    if (!shape)
         fail("layer spec must be XxYxNB, got '" + spec + "'");
-    return {"cli.layer", x, y, nb};
+    return *shape;
 }
 
 /**
@@ -251,62 +232,32 @@ parseOrReport(util::FlagSet &flags, int argc, char **argv)
 void
 printStats(const std::string &label, const sim::RunStats &s, bool csv)
 {
-    if (csv) {
-        std::printf("%s,%.0f,%.6e,%.6e,%.6e,%.4f,%.4f\n", label.c_str(),
-                    s.cycles, s.seconds, s.energy.totalJ(), s.edp,
-                    s.computeUtilisation, s.bwUtilisation);
-        return;
-    }
-    std::printf("%-10s cycles=%.0f time=%.3f ms energy=%.3f mJ "
-                "EDP=%.4e computeUtil=%.1f%% bwUtil=%.1f%%\n",
-                label.c_str(), s.cycles, s.seconds * 1e3,
-                s.energy.totalJ() * 1e3, s.edp,
-                s.computeUtilisation * 100.0, s.bwUtilisation * 100.0);
+    std::fputs(serve::formatStats(label, s, csv).c_str(), stdout);
 }
 
 sim::RunStats
 runOne(accel::AccelKind kind, const SimOpts &opts, bool bw_set)
 {
-    std::optional<sim::ArchConfig> override;
-    if (bw_set) {
-        auto cfg = accel::accelConfig(kind);
-        cfg.dramGbps = opts.bw;
-        override = cfg;
-    }
-
-    if (!opts.layer.empty()) {
-        accel::RunRequest req;
-        req.shape = parseLayer(opts.layer);
-        req.sparsity = opts.sparsity;
-        req.seed = opts.seed;
-        req.int8Weights = opts.int8;
-        req.configOverride = override;
-        return accel::runLayer(kind, req);
-    }
-    if (opts.model.empty())
+    serve::RunSpec spec;
+    spec.kind = kind;
+    spec.model = opts.model;
+    spec.layer = opts.layer;
+    spec.sparsity = opts.sparsity;
+    spec.seq = opts.seq;
+    spec.seed = opts.seed;
+    spec.int8Weights = opts.int8;
+    spec.full = opts.full;
+    if (bw_set)
+        spec.bw = opts.bw;
+    // Validate names here so bad input keeps its exit-2 diagnostic
+    // instead of surfacing as a caught exception (exit 1).
+    if (spec.layer.empty() && spec.model.empty())
         fail("need --model or --layer");
-    const auto model = parseModel(opts.model);
-    if (opts.full) {
-        // Full inference pass: weight GEMMs + dense attention GEMMs.
-        return accel::runInference(kind, model, opts.sparsity, opts.seq,
-                                   opts.int8, opts.seed);
-    }
-    if (override) {
-        sim::RunStats total;
-        for (const auto &shape :
-             workload::modelLayers(model, opts.seq)) {
-            accel::RunRequest req;
-            req.shape = shape;
-            req.sparsity = opts.sparsity;
-            req.seed = opts.seed;
-            req.int8Weights = opts.int8;
-            req.configOverride = override;
-            total.accumulate(accel::runLayer(kind, req));
-        }
-        return total;
-    }
-    return accel::runModel(kind, model, opts.sparsity, opts.seq,
-                           opts.int8, opts.seed);
+    if (!spec.model.empty() && !serve::tryParseModel(spec.model))
+        fail("unknown model '" + spec.model + "'");
+    if (!spec.layer.empty())
+        parseLayer(spec.layer);
+    return serve::executeRun(spec);
 }
 
 util::FlagSet
@@ -334,8 +285,7 @@ cmdRun(int argc, char **argv)
 
     const auto kind = parseAccel(accel);
     if (opts.csv)
-        std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
-                    "bwUtil\n");
+        std::fputs(serve::statsCsvHeader().c_str(), stdout);
     printStats(accel::accelName(kind),
                runOne(kind, opts, flags.seen("bw")), opts.csv);
     return opts.writeTelemetry();
@@ -360,8 +310,7 @@ cmdCompare(int argc, char **argv)
     opts.enableTelemetry();
 
     if (opts.csv)
-        std::printf("accel,cycles,seconds,energyJ,edp,computeUtil,"
-                    "bwUtil\n");
+        std::fputs(serve::statsCsvHeader().c_str(), stdout);
     const std::vector<accel::AccelKind> kinds{
         accel::AccelKind::TC,        accel::AccelKind::STC,
         accel::AccelKind::Vegeta,    accel::AccelKind::HighLight,
@@ -646,6 +595,206 @@ cmdCpuinfo(int argc, char **argv)
     return 0;
 }
 
+/**
+ * serve: accept run/sparsify/stats requests over a unix or TCP socket
+ * until SIGTERM/SIGINT, then drain (answer everything accepted) and
+ * exit 0. The listening address is printed to stdout as one
+ * machine-parseable line; see docs/serving.md for the protocol.
+ */
+int
+cmdServe(int argc, char **argv)
+{
+    std::string socket;
+    uint64_t port = 0;
+    uint64_t queueCap = 256;
+    uint64_t maxBatch = 32;
+    uint64_t retryAfterMs = 50;
+    uint64_t threads = 0;
+    std::string metricsPath;
+    std::string profileCache;
+    bool noCache = false;
+    std::string isa;
+    util::FlagSet flags(
+        "serve",
+        "Serve run/sparsify requests concurrently over a socket.");
+    flags
+        .option("socket", &socket, "PATH",
+                "listen on a unix socket (default: TCP on 127.0.0.1)")
+        .option("port", &port, "N",
+                "TCP port (default 0 = ephemeral; printed at start)")
+        .option("queue", &queueCap, "N",
+                "request-queue capacity = back-pressure threshold "
+                "(default 256; overflow answers busy + retry_after_ms)")
+        .option("max-batch", &maxBatch, "N",
+                "max requests coalesced per execution (default 32)")
+        .option("retry-after-ms", &retryAfterMs, "MS",
+                "retry hint attached to busy rejections (default 50)")
+        .option("threads", &threads, "N",
+                "worker threads for request execution")
+        .option("metrics", &metricsPath, "FILE",
+                "write the final metrics JSON (host domain included) "
+                "after the drain")
+        .option("profile-cache", &profileCache, "DIR",
+                "persist profile/sim results to DIR and reuse them")
+        .flag("no-cache", &noCache,
+              "disable the in-memory and on-disk result caches")
+        .option("isa", &isa, "L",
+                "force the kernel ISA level (see 'tbstc cpuinfo')");
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+    if (port > 65535)
+        fail("--port must be <= 65535");
+
+    if (!isa.empty()) {
+        kernels::Isa level;
+        if (!kernels::parseIsa(isa, level)
+            || !kernels::setIsa(level))
+            fail("ISA level '" + isa
+                 + "' is unknown or unsupported on this host");
+    }
+    if (threads > 0)
+        util::setThreads(threads);
+    if (noCache)
+        util::ContentStore::instance().setEnabled(false);
+    else if (!profileCache.empty())
+        util::ContentStore::instance().setDiskDir(profileCache);
+    // Live `stats` responses embed the metrics export, so recording
+    // is always on while serving.
+    obs::setMetricsEnabled(true);
+
+    // Route SIGTERM/SIGINT to a dedicated sigwait thread: every
+    // thread the server spawns inherits this mask, so the drain is
+    // always initiated from a normal thread context, never a handler.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    serve::ServerOptions sopts;
+    sopts.socketPath = socket;
+    sopts.tcpPort = static_cast<uint16_t>(port);
+    sopts.queueCapacity = queueCap;
+    sopts.maxBatch = maxBatch;
+    sopts.retryAfterMs = retryAfterMs;
+    sopts.metricsPath = metricsPath;
+    serve::Server server(sopts);
+    const auto started = server.start();
+    if (!started) {
+        std::fprintf(stderr, "tbstc serve: %s\n",
+                     started.error().c_str());
+        return 1;
+    }
+    if (socket.empty())
+        std::printf("listening tcp 127.0.0.1:%u\n",
+                    static_cast<unsigned>(*started));
+    else
+        std::printf("listening unix %s\n", socket.c_str());
+    std::fflush(stdout);
+
+    std::thread sigThread([&] {
+        int signo = 0;
+        sigwait(&sigs, &signo);
+        server.beginShutdown();
+    });
+    server.wait();
+    sigThread.join();
+
+    const serve::ServerCounters c = server.counters();
+    std::fprintf(stderr,
+                 "tbstc serve: drained — %llu answered, %llu batches, "
+                 "%llu dedup hits, %llu busy-rejected, "
+                 "%llu connections\n",
+                 static_cast<unsigned long long>(c.answered),
+                 static_cast<unsigned long long>(c.batches),
+                 static_cast<unsigned long long>(c.dedupHits),
+                 static_cast<unsigned long long>(c.busyRejected),
+                 static_cast<unsigned long long>(c.connections));
+    return 0;
+}
+
+/**
+ * loadgen: closed-loop load against a serve daemon. Exit 0 only when
+ * every request succeeded and (with --verify) every response matched
+ * the in-process re-execution byte-for-byte.
+ */
+int
+cmdLoadgen(int argc, char **argv)
+{
+    std::string socket;
+    uint64_t port = 0;
+    uint64_t clients = 8;
+    uint64_t requests = 200;
+    uint64_t seed = 42;
+    bool json = false;
+    bool verify = false;
+    bool printMix = false;
+    util::FlagSet flags(
+        "loadgen",
+        "Drive a serve daemon with a deterministic request mix.");
+    flags
+        .option("socket", &socket, "PATH", "daemon unix socket")
+        .option("port", &port, "N", "daemon TCP port on 127.0.0.1")
+        .option("clients", &clients, "N",
+                "concurrent closed-loop connections (default 8)")
+        .option("requests", &requests, "N",
+                "total requests across all clients (default 200)")
+        .option("seed", &seed, "N", "mix derivation seed (default 42)")
+        .flag("json", &json,
+              "print the tbstc.loadgen.v1 JSON document")
+        .flag("verify", &verify,
+              "re-execute each distinct request in-process and demand "
+              "byte-identical csv output")
+        .flag("print-mix", &printMix,
+              "print the one-shot command for each mix entry and exit");
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+    if (port > 65535)
+        fail("--port must be <= 65535");
+
+    if (printMix) {
+        for (const auto &req : serve::buildMix(requests, seed))
+            std::puts(serve::oneShotCommand(req).c_str());
+        return 0;
+    }
+    if (socket.empty() && port == 0)
+        fail("need --socket or --port");
+
+    serve::LoadgenOptions lopts;
+    lopts.socketPath = socket;
+    lopts.port = static_cast<uint16_t>(port);
+    lopts.clients = clients;
+    lopts.totalRequests = requests;
+    lopts.seed = seed;
+    lopts.verify = verify;
+    const auto stats = serve::runLoadgen(lopts);
+    if (!stats) {
+        std::fprintf(stderr, "tbstc loadgen: %s\n",
+                     stats.error().c_str());
+        return 1;
+    }
+    if (json) {
+        std::printf("%s\n", serve::loadgenJson(*stats).c_str());
+    } else {
+        std::printf(
+            "sent=%llu ok=%llu busy_retries=%llu errors=%llu "
+            "mismatched=%llu\n"
+            "%.1f req/s  p50=%.3f ms  p95=%.3f ms  p99=%.3f ms  "
+            "(%.3f s elapsed)\n",
+            static_cast<unsigned long long>(stats->sent),
+            static_cast<unsigned long long>(stats->ok),
+            static_cast<unsigned long long>(stats->busyRetries),
+            static_cast<unsigned long long>(stats->errors),
+            static_cast<unsigned long long>(stats->mismatched),
+            stats->reqPerSec, stats->p50Ms, stats->p95Ms, stats->p99Ms,
+            stats->elapsedSeconds);
+    }
+    return stats->errors == 0 && stats->mismatched == 0
+            && stats->ok == stats->sent
+        ? 0
+        : 1;
+}
+
 int
 cmdHelp(int argc, char **argv)
 {
@@ -664,7 +813,8 @@ cmdHelp(int argc, char **argv)
         }
         // The remaining subcommands print their own help via --help.
         if (topic == "formats" || topic == "fsck" || topic == "area"
-            || topic == "cpuinfo") {
+            || topic == "cpuinfo" || topic == "serve"
+            || topic == "loadgen") {
             char help_flag[] = "--help";
             char *sub_argv[] = {argv[0], argv[2], help_flag};
             if (topic == "formats")
@@ -673,6 +823,10 @@ cmdHelp(int argc, char **argv)
                 return cmdFsck(3, sub_argv);
             if (topic == "cpuinfo")
                 return cmdCpuinfo(3, sub_argv);
+            if (topic == "serve")
+                return cmdServe(3, sub_argv);
+            if (topic == "loadgen")
+                return cmdLoadgen(3, sub_argv);
             return cmdArea(3, sub_argv);
         }
     }
@@ -689,6 +843,10 @@ cmdHelp(int argc, char **argv)
         "  fsck     FILE  (validate a dumped DDC stream)\n"
         "  area     --accel K\n"
         "  cpuinfo  [--isa L]  (CPU features, dispatched kernels)\n"
+        "  serve    [--socket PATH | --port N] [--queue N] ...\n"
+        "           (daemon; see docs/serving.md)\n"
+        "  loadgen  (--socket PATH | --port N) [--clients N]\n"
+        "           [--requests N] [--json] [--verify]\n"
         "  help     [command]\n"
         "\n"
         "accelerators: tc stc vegeta highlight rmstc sgcn tbstc fan\n"
@@ -703,7 +861,7 @@ cmdHelp(int argc, char **argv)
 } // namespace
 
 int
-main(int argc, char **argv)
+dispatch(int argc, char **argv)
 {
     if (argc < 2)
         return cmdHelp(argc, argv);
@@ -721,6 +879,10 @@ main(int argc, char **argv)
             return cmdArea(argc, argv);
         if (cmd == "cpuinfo")
             return cmdCpuinfo(argc, argv);
+        if (cmd == "serve")
+            return cmdServe(argc, argv);
+        if (cmd == "loadgen")
+            return cmdLoadgen(argc, argv);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return cmdHelp(argc, argv);
         fail("unknown command '" + cmd + "'");
@@ -728,4 +890,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "tbstc: %s\n", e.what());
         return 1;
     }
+}
+
+int
+main(int argc, char **argv)
+{
+    const int rc = dispatch(argc, argv);
+    // Deterministic pool teardown: join the workers before main
+    // returns instead of relying on static-destructor order.
+    util::shutdownPool();
+    return rc;
 }
