@@ -45,7 +45,7 @@ class ServerFixture
     ServerFixture()
     {
         ServerOptions opts;
-        opts.queueCapacity = 512;
+        opts.limits.queueCapacity = 512;
         server_ = std::make_unique<Server>(opts);
         const auto started = server_->start();
         if (!started.ok())

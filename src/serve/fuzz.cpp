@@ -1,0 +1,256 @@
+#include "fuzz.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "protocol.hpp"
+#include "util/faultinject.hpp"
+
+namespace tbstc::serve {
+
+namespace {
+
+/** Client-side read deadlines: generous, but never hang the harness. */
+constexpr FrameTimeouts kProbeTimeouts{10000, 10000};
+
+/** Fixed probe ids, one per geometry (stable reference bytes). */
+constexpr uint64_t kProbeIdBase = 77777777;
+
+/** The three probe geometries: inline, simulation, and DDC paths. */
+std::array<Request, 3>
+probeRequests()
+{
+    std::array<Request, 3> reqs;
+    reqs[0].id = kProbeIdBase;
+    reqs[0].op = Op::Ping;
+    reqs[1].id = kProbeIdBase + 1;
+    reqs[1].op = Op::Run;
+    reqs[1].run.kind = accel::AccelKind::TbStc;
+    reqs[1].run.layer = "64x64x1";
+    reqs[1].run.sparsity = 0.5;
+    reqs[1].run.seed = 42;
+    reqs[2].id = kProbeIdBase + 2;
+    reqs[2].op = Op::Sparsify;
+    reqs[2].sparsify.layer = "128x128x1";
+    reqs[2].sparsify.sparsity = 0.75;
+    reqs[2].sparsify.seed = 42;
+    reqs[2].sparsify.m = 8;
+    return reqs;
+}
+
+bool
+sendRaw(int fd, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+std::string_view
+asView(const std::vector<uint8_t> &bytes)
+{
+    return {reinterpret_cast<const char *>(bytes.data()),
+            bytes.size()};
+}
+
+std::span<const uint8_t>
+asBytes(const std::string &s)
+{
+    return {reinterpret_cast<const uint8_t *>(s.data()), s.size()};
+}
+
+} // namespace
+
+util::Result<FuzzStats, std::string>
+runProtocolFuzz(const FuzzOptions &opts)
+{
+    const auto probes = probeRequests();
+    std::array<std::string, 3> payloads;
+    for (size_t g = 0; g < probes.size(); ++g)
+        payloads[g] = serializeRequest(probes[g]);
+
+    // Capture reference responses on a clean connection: the bytes a
+    // fuzzed session's probes must reproduce exactly.
+    std::array<std::string, 3> references;
+    {
+        std::string err;
+        const int fd = connectClient(opts.socketPath, opts.port, err);
+        if (fd < 0)
+            return util::unexpected(err);
+        for (size_t g = 0; g < probes.size(); ++g) {
+            if (!writeFrame(fd, payloads[g])
+                || readFrameDeadline(fd, references[g],
+                                     kDefaultMaxFrameBytes,
+                                     kProbeTimeouts)
+                    != FrameStatus::Ok) {
+                ::close(fd);
+                return util::unexpected(
+                    std::string("reference capture failed"));
+            }
+        }
+        ::close(fd);
+    }
+
+    util::FaultInjector inj(opts.seed);
+    util::Rng &rng = inj.rng();
+    FuzzStats stats;
+    std::string frame;
+
+    for (size_t s = 0; s < opts.sessions; ++s) {
+        std::string err;
+        int fd = connectClient(opts.socketPath, opts.port, err);
+        if (fd < 0)
+            return util::unexpected(err);
+
+        const auto reconnect = [&]() -> bool {
+            ::close(fd);
+            ++stats.reconnects;
+            fd = connectClient(opts.socketPath, opts.port, err);
+            return fd >= 0;
+        };
+
+        bool alive = true;
+        for (size_t f = 0; alive && f < opts.framesPerSession; ++f) {
+            const std::string &payload = payloads[rng.below(3)];
+            const auto base = asBytes(payload);
+            bool framingSafe = true;
+            bool sent = true;
+            switch (rng.below(10)) {
+              case 0: // a few bit flips in a well-framed payload
+                sent = writeFrame(
+                    fd, asView(inj.flipBits(base, 1 + rng.below(4))));
+                break;
+              case 1: // one byte clobbered in a well-framed payload
+                sent =
+                    writeFrame(fd, asView(inj.mutateRandomByte(base)));
+                break;
+              case 2: { // well-framed but truncated JSON
+                auto cut = inj.truncateRandom(base);
+                if (cut.empty())
+                    cut.push_back('{');
+                sent = writeFrame(fd, asView(cut));
+                break;
+              }
+              case 3: // well-framed JSON with trailing garbage
+                sent = writeFrame(
+                    fd, asView(inj.extend(base, 1 + rng.below(16))));
+                break;
+              case 4: { // two payload ranges exchanged, still framed
+                std::vector<uint8_t> mut(base.begin(), base.end());
+                if (mut.size() >= 8)
+                    mut = inj.swapRanges(mut, 0, mut.size() / 2, 2);
+                sent = writeFrame(fd, asView(mut));
+                break;
+              }
+              case 5: { // length-prefix lie: claims more than is sent
+                const uint8_t hdr[4] = {0xff, 0xff, 0x00, 0x00};
+                sent = sendRaw(fd, hdr, sizeof hdr)
+                    && sendRaw(fd, payload.data(), payload.size() / 2);
+                framingSafe = false;
+                break;
+              }
+              case 6: { // length prefix above the 1 MiB frame cap
+                const uint8_t hdr[4] = {0xff, 0xff, 0xff, 0x7f};
+                sent = sendRaw(fd, hdr, sizeof hdr);
+                framingSafe = false;
+                break;
+              }
+              case 7: { // zero length prefix (protocol error)
+                const uint8_t hdr[4] = {0, 0, 0, 0};
+                sent = sendRaw(fd, hdr, sizeof hdr);
+                framingSafe = false;
+                break;
+              }
+              case 8: { // random header plus raw garbage bytes
+                uint8_t junk[24];
+                for (auto &b : junk)
+                    b = static_cast<uint8_t>(rng.below(256));
+                // Keep the claimed length small so the daemon treats
+                // the garbage as payload instead of waiting for MiBs.
+                junk[1] = 0;
+                junk[2] = 0;
+                junk[3] = 0;
+                if (junk[0] == 0)
+                    junk[0] = 1;
+                sent = sendRaw(fd, junk, sizeof junk);
+                framingSafe = false;
+                break;
+              }
+              default: { // mid-frame disconnect
+                const uint8_t hdr[4] = {
+                    static_cast<uint8_t>(payload.size()), 0, 0, 0};
+                sent = sendRaw(fd, hdr, sizeof hdr)
+                    && sendRaw(fd, payload.data(),
+                               payload.size() / 2);
+                framingSafe = false;
+                break;
+              }
+            }
+            ++stats.mutatedFrames;
+            if (!sent || !framingSafe) {
+                // Desynced (or the daemon already dropped us): this
+                // connection is spent; prove a fresh one gets served.
+                alive = reconnect();
+                continue;
+            }
+            // Framing intact: exactly one reply must come back
+            // (typed error, or success when the mutation happened to
+            // keep the request valid).
+            if (readFrameDeadline(fd, frame, kDefaultMaxFrameBytes,
+                                  kProbeTimeouts)
+                == FrameStatus::Ok)
+                ++stats.responses;
+            else
+                alive = reconnect();
+        }
+
+        // End-of-session probes: the (possibly corruption-scarred)
+        // connection must answer well-formed requests with the exact
+        // bytes a clean connection produced.
+        for (size_t g = 0; alive && g < probes.size(); ++g) {
+            ++stats.probes;
+            if (!writeFrame(fd, payloads[g])
+                || readFrameDeadline(fd, frame, kDefaultMaxFrameBytes,
+                                     kProbeTimeouts)
+                    != FrameStatus::Ok
+                || frame != references[g])
+                ++stats.probeMismatches;
+        }
+        if (fd >= 0)
+            ::close(fd);
+        ++stats.sessions;
+    }
+    return stats;
+}
+
+std::string
+fuzzJson(const FuzzStats &s)
+{
+    std::string out = "{\"schema\": \"tbstc.fuzz.v1\"";
+    out += ", \"sessions\": " + std::to_string(s.sessions);
+    out += ", \"mutated_frames\": " + std::to_string(s.mutatedFrames);
+    out += ", \"responses\": " + std::to_string(s.responses);
+    out += ", \"reconnects\": " + std::to_string(s.reconnects);
+    out += ", \"probes\": " + std::to_string(s.probes);
+    out += ", \"probe_mismatches\": "
+        + std::to_string(s.probeMismatches);
+    out += "}";
+    return out;
+}
+
+} // namespace tbstc::serve

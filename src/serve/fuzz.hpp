@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded adversarial protocol fuzzer for the serve daemon
+ * (`tbstc fuzz`, the ServeFuzz tests, and CI's serve-smoke job).
+ *
+ * Drives sessions of corrupted frames — built by util::FaultInjector
+ * over real serialized requests — against a live daemon and checks
+ * the robustness contract from docs/serving.md:
+ *
+ *  - the daemon never crashes or hangs, whatever bytes arrive;
+ *  - corruption that keeps the length-prefix framing intact (bit
+ *    flips, truncated/garbage JSON, trailing bytes) is answered with
+ *    a typed error and the session keeps working: well-formed
+ *    requests sent afterwards on the same connection receive
+ *    byte-identical responses to a clean connection's;
+ *  - corruption that desynchronizes framing (length-prefix lies,
+ *    oversize or zero prefixes, raw garbage, mid-frame disconnects)
+ *    costs only that connection — a reconnect gets full service.
+ *
+ * Probe requests cover three geometries (ping, run, sparsify) so the
+ * contract is checked across the inline, simulation, and DDC paths.
+ * Everything derives from one seed: a failing run is replayable.
+ */
+
+#ifndef TBSTC_SERVE_FUZZ_HPP
+#define TBSTC_SERVE_FUZZ_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace tbstc::serve {
+
+struct FuzzOptions
+{
+    /** Unix socket path; empty → TCP to 127.0.0.1:port. */
+    std::string socketPath;
+    uint16_t port = 0;
+
+    uint64_t seed = 1;           ///< Derives every mutation.
+    size_t sessions = 125;       ///< Connections fuzzed.
+    size_t framesPerSession = 8; ///< Mutated frames per session.
+};
+
+struct FuzzStats
+{
+    uint64_t sessions = 0;       ///< Sessions completed.
+    uint64_t mutatedFrames = 0;  ///< Corrupted frames delivered.
+    uint64_t responses = 0;      ///< Replies to framing-safe frames.
+    uint64_t reconnects = 0;     ///< Reconnects after a desync.
+    uint64_t probes = 0;         ///< Well-formed probe requests sent.
+    uint64_t probeMismatches = 0; ///< Probe replies != clean reference.
+};
+
+/**
+ * Run the fuzz campaign against a live daemon. An error return means
+ * the harness could not run (connect failure, reference capture
+ * failure) — contract violations are reported in probeMismatches, not
+ * as errors, so callers can assert on them explicitly.
+ */
+util::Result<FuzzStats, std::string>
+runProtocolFuzz(const FuzzOptions &opts);
+
+/** Render @p s as the stable tbstc.fuzz.v1 JSON document. */
+std::string fuzzJson(const FuzzStats &s);
+
+} // namespace tbstc::serve
+
+#endif // TBSTC_SERVE_FUZZ_HPP

@@ -10,10 +10,7 @@
 #include <mutex>
 #include <thread>
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "util/rng.hpp"
@@ -26,50 +23,117 @@ namespace {
 int
 connectDaemon(const LoadgenOptions &opts, std::string &err)
 {
-    int fd = -1;
-    if (!opts.socketPath.empty()) {
-        sockaddr_un addr{};
-        addr.sun_family = AF_UNIX;
-        if (opts.socketPath.size() >= sizeof addr.sun_path) {
-            err = "socket path too long: " + opts.socketPath;
-            return -1;
-        }
-        std::strncpy(addr.sun_path, opts.socketPath.c_str(),
-                     sizeof addr.sun_path - 1);
-        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-        if (fd >= 0
-            && ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                         sizeof addr)
-                != 0) {
-            ::close(fd);
-            fd = -1;
-        }
-    } else {
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port = htons(opts.port);
-        fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd >= 0
-            && ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                         sizeof addr)
-                != 0) {
-            ::close(fd);
-            fd = -1;
-        }
-    }
-    if (fd < 0)
-        err = std::string("connect: ") + std::strerror(errno);
-    return fd;
+    return connectClient(opts.socketPath, opts.port, err);
 }
 
-/** Signature of a request: its serialization with the id zeroed. */
+/**
+ * Signature of a request: its serialization with id and deadline
+ * zeroed (mirrors the batcher's dedup key).
+ */
 std::string
 signatureOf(const Request &req)
 {
     Request key = req;
     key.id = 0;
+    key.deadlineMs = 0;
     return serializeRequest(key);
+}
+
+/**
+ * One chaos client (`--chaos`): loops until @p stop, each round
+ * connecting and sending a seeded corruption of a valid frame — bit
+ * flips, garbage JSON, length-prefix lies, oversize claims, raw
+ * garbage bytes, or a mid-frame disconnect. Corruptions that keep the
+ * framing intact are followed by a well-formed ping on the same
+ * connection that must still be answered (counted in @p probesOk);
+ * desyncing ones abandon the connection, as a real hostile or broken
+ * peer would.
+ */
+void
+chaosClient(const LoadgenOptions &opts, uint64_t seed,
+            const std::atomic<bool> &stop,
+            std::atomic<uint64_t> &frames,
+            std::atomic<uint64_t> &probesOk)
+{
+    util::Rng rng(seed);
+    std::string frame;
+    while (!stop.load(std::memory_order_relaxed)) {
+        std::string err;
+        const int fd = connectClient(opts.socketPath, opts.port, err);
+        if (fd < 0) {
+            // Shed at the connection cap, or transient: back off.
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            continue;
+        }
+        Request req;
+        req.id = rng.below(1000) + 1;
+        req.op = Op::Ping;
+        const std::string payload = serializeRequest(req);
+        bool framingSafe = true;
+        switch (rng.below(6)) {
+          case 0: { // bit flip inside a correctly framed payload
+            std::string p = payload;
+            p[rng.below(p.size())] ^=
+                static_cast<char>(1u << rng.below(8));
+            (void)writeFrame(fd, p);
+            break;
+          }
+          case 1: // truncated JSON inside a correctly framed payload
+            (void)writeFrame(fd, "{\"op\": \"ping\", ");
+            break;
+          case 2: { // length-prefix lie: claim more than is sent
+            const uint8_t hdr[4] = {0xff, 0xff, 0x00, 0x00};
+            (void)::send(fd, hdr, sizeof hdr, MSG_NOSIGNAL);
+            (void)::send(fd, payload.data(), payload.size() / 2,
+                         MSG_NOSIGNAL);
+            framingSafe = false;
+            break;
+          }
+          case 3: { // oversize length prefix (above the frame cap)
+            const uint8_t hdr[4] = {0xff, 0xff, 0xff, 0x7f};
+            (void)::send(fd, hdr, sizeof hdr, MSG_NOSIGNAL);
+            framingSafe = false;
+            break;
+          }
+          case 4: { // raw garbage bytes, no framing at all
+            uint8_t junk[32];
+            for (auto &b : junk)
+                b = static_cast<uint8_t>(rng.below(256));
+            (void)::send(fd, junk, sizeof junk, MSG_NOSIGNAL);
+            framingSafe = false;
+            break;
+          }
+          default: { // mid-frame disconnect
+            const uint8_t hdr[4] = {
+                static_cast<uint8_t>(payload.size()), 0, 0, 0};
+            (void)::send(fd, hdr, sizeof hdr, MSG_NOSIGNAL);
+            (void)::send(fd, payload.data(), payload.size() / 2,
+                         MSG_NOSIGNAL);
+            framingSafe = false;
+            break;
+          }
+        }
+        frames.fetch_add(1, std::memory_order_relaxed);
+        if (framingSafe) {
+            // Drain the server's verdict on the corrupted frame, then
+            // prove the session still works with a clean ping.
+            (void)readFrameDeadline(fd, frame, kDefaultMaxFrameBytes,
+                                    {2000, 2000});
+            Request probe;
+            probe.id = 424242;
+            probe.op = Op::Ping;
+            if (writeFrame(fd, serializeRequest(probe))
+                && readFrameDeadline(fd, frame, kDefaultMaxFrameBytes,
+                                     {2000, 2000})
+                    == FrameStatus::Ok) {
+                const auto doc = parseJson(frame);
+                if (doc && doc->isObject()
+                    && doc->get("ok").asBool(false))
+                    probesOk.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        ::close(fd);
+    }
 }
 
 /** Shared across client threads. */
@@ -180,6 +244,18 @@ runLoadgen(const LoadgenOptions &opts)
     std::atomic<uint64_t> errors{0};
     std::vector<std::vector<double>> latencies(opts.clients);
 
+    // Chaos clients run for the duration of the honest load.
+    std::atomic<bool> chaosStop{false};
+    std::atomic<uint64_t> chaosFrames{0};
+    std::atomic<uint64_t> chaosProbesOk{0};
+    std::vector<std::thread> chaos;
+    chaos.reserve(opts.chaosClients);
+    for (size_t c = 0; c < opts.chaosClients; ++c)
+        chaos.emplace_back([&, c] {
+            chaosClient(opts, opts.chaosSeed + c, chaosStop,
+                        chaosFrames, chaosProbesOk);
+        });
+
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> clients;
     clients.reserve(opts.clients);
@@ -248,11 +324,13 @@ runLoadgen(const LoadgenOptions &opts)
                     }
                     const std::string &kind =
                         doc->get("kind").asString();
-                    if (kind == "busy") {
+                    if (kind == "busy" || kind == "rate_limited") {
                         busyRetries.fetch_add(
                             1, std::memory_order_relaxed);
                         const double ms =
-                            doc->get("retry_after_ms").asNumber(50.0);
+                            doc->get("retry_after_ms")
+                                .asNumber(static_cast<double>(
+                                    kDefaultRetryAfterMs));
                         std::this_thread::sleep_for(
                             std::chrono::duration<double,
                                                   std::milli>(ms));
@@ -270,6 +348,9 @@ runLoadgen(const LoadgenOptions &opts)
     for (auto &t : clients)
         t.join();
     const auto t1 = std::chrono::steady_clock::now();
+    chaosStop.store(true, std::memory_order_relaxed);
+    for (auto &t : chaos)
+        t.join();
 
     LoadgenStats s;
     s.sent = sent.load();
@@ -277,6 +358,8 @@ runLoadgen(const LoadgenOptions &opts)
     s.busyRetries = busyRetries.load();
     s.errors = errors.load();
     s.mismatched = shared.mismatched;
+    s.chaosFrames = chaosFrames.load();
+    s.chaosProbesOk = chaosProbesOk.load();
     s.elapsedSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     s.reqPerSec = s.elapsedSeconds > 0.0
@@ -333,6 +416,9 @@ loadgenJson(const LoadgenStats &s)
     out += ", \"busy_retries\": " + std::to_string(s.busyRetries);
     out += ", \"errors\": " + std::to_string(s.errors);
     out += ", \"mismatched\": " + std::to_string(s.mismatched);
+    out += ", \"chaos_frames\": " + std::to_string(s.chaosFrames);
+    out += ", \"chaos_probes_ok\": "
+        + std::to_string(s.chaosProbesOk);
     out += ", \"elapsed_s\": " + jsonNumber(s.elapsedSeconds);
     out += ", \"req_per_s\": " + jsonNumber(s.reqPerSec);
     out += ", \"latency_ms\": {\"p50\": " + jsonNumber(s.p50Ms)

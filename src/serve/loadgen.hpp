@@ -39,8 +39,19 @@ struct LoadgenOptions
     size_t clients = 8;         ///< Concurrent closed-loop clients.
     size_t totalRequests = 200; ///< Across all clients.
     uint64_t seed = 42;         ///< Mix derivation seed.
-    size_t maxRetries = 1000;   ///< Busy retries per request.
+    size_t maxRetries = 1000;   ///< Busy/rate-limit retries per req.
     bool verify = false;        ///< Recompute distinct results locally.
+
+    /**
+     * Chaos clients running alongside the honest load (`--chaos N`):
+     * each loops sending corrupted frames — bit-flipped payloads,
+     * length-prefix lies, truncations, garbage bytes, mid-frame
+     * disconnects — plus periodic well-formed pings that must still
+     * be answered. The honest load's success is the assertion that
+     * hostile traffic cannot take the daemon down.
+     */
+    size_t chaosClients = 0;
+    uint64_t chaosSeed = 1337; ///< Chaos mutation derivation seed.
 };
 
 struct LoadgenStats
@@ -50,6 +61,8 @@ struct LoadgenStats
     uint64_t busyRetries = 0; ///< Busy rejections retried.
     uint64_t errors = 0;      ///< Non-busy failures (incl. transport).
     uint64_t mismatched = 0;  ///< csv-byte mismatches (see file doc).
+    uint64_t chaosFrames = 0;   ///< Corrupted frames sent by chaos.
+    uint64_t chaosProbesOk = 0; ///< Chaos pings answered correctly.
     double elapsedSeconds = 0.0;
     double reqPerSec = 0.0;
     double p50Ms = 0.0;

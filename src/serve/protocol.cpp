@@ -1,9 +1,15 @@
 #include "protocol.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 namespace tbstc::serve {
@@ -33,6 +39,9 @@ errorKindName(ErrorKind kind)
       case ErrorKind::Busy: return "busy";
       case ErrorKind::ShuttingDown: return "shutting_down";
       case ErrorKind::Internal: return "internal";
+      case ErrorKind::RateLimited: return "rate_limited";
+      case ErrorKind::DeadlineExceeded: return "deadline_exceeded";
+      case ErrorKind::Overloaded: return "overloaded";
     }
     return "internal";
 }
@@ -57,6 +66,11 @@ parseRequest(std::string_view json)
     else if (v.has("id"))
         return util::unexpected(
             RequestError{0, "'id' must be a non-negative integer"});
+    if (const auto dl = u64Field(v, "deadline_ms"))
+        req.deadlineMs = *dl;
+    else if (v.has("deadline_ms"))
+        return util::unexpected(RequestError{
+            req.id, "'deadline_ms' must be a non-negative integer"});
 
     const auto fail = [&req](std::string message) {
         return util::unexpected(RequestError{req.id,
@@ -134,6 +148,8 @@ std::string
 serializeRequest(const Request &req)
 {
     std::string out = "{\"id\": " + std::to_string(req.id);
+    if (req.deadlineMs != 0)
+        out += ", \"deadline_ms\": " + std::to_string(req.deadlineMs);
     switch (req.op) {
       case Op::Ping:
         out += ", \"op\": \"ping\"";
@@ -188,7 +204,8 @@ errorResponse(uint64_t id, ErrorKind kind, const std::string &message,
     std::string out = "{\"id\": " + std::to_string(id)
         + ", \"ok\": false, \"kind\": \""
         + errorKindName(kind) + "\", \"error\": " + jsonQuote(message);
-    if (kind == ErrorKind::Busy)
+    if (kind == ErrorKind::Busy || kind == ErrorKind::RateLimited
+        || kind == ErrorKind::Overloaded)
         out += ", \"retry_after_ms\": " + std::to_string(retryAfterMs);
     out += "}";
     return out;
@@ -277,6 +294,192 @@ writeFrame(int fd, std::string_view payload)
         off += static_cast<size_t>(n);
     }
     return true;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Absolute deadline @p ms from now; max() when @p ms is 0. */
+Clock::time_point
+deadlineFrom(Clock::time_point now, uint64_t ms)
+{
+    if (ms == 0)
+        return Clock::time_point::max();
+    return now + std::chrono::milliseconds(ms);
+}
+
+/** Poll @p fd for @p events until @p deadline. True = ready. */
+bool
+pollUntil(int fd, short events, Clock::time_point deadline)
+{
+    for (;;) {
+        int timeoutMs = -1;
+        if (deadline != Clock::time_point::max()) {
+            const auto now = Clock::now();
+            if (now >= deadline)
+                return false;
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - now)
+                    .count();
+            timeoutMs = static_cast<int>(
+                left > 60000 ? 60000 : (left < 1 ? 1 : left));
+        }
+        pollfd pfd{fd, events, 0};
+        const int rc = ::poll(&pfd, 1, timeoutMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return true; // let recv/send surface the real error
+        }
+        if (rc > 0)
+            return true;
+        if (deadline == Clock::time_point::max())
+            continue;
+        if (Clock::now() >= deadline)
+            return false;
+    }
+}
+
+/**
+ * Receive exactly @p need bytes into @p dst, honoring @p deadline.
+ * Returns Ok, Eof (peer closed with 0 bytes received overall when
+ * @p eofAtStart), Error, or Timeout.
+ */
+FrameStatus
+recvExact(int fd, uint8_t *dst, size_t need, bool eofAtStart,
+          Clock::time_point &deadline, const FrameTimeouts &t,
+          bool &sawFirstByte)
+{
+    size_t got = 0;
+    while (got < need) {
+        const ssize_t n =
+            ::recv(fd, dst + got, need - got, MSG_DONTWAIT);
+        if (n > 0) {
+            if (!sawFirstByte) {
+                // The frame has begun: switch from the idle deadline
+                // to the (usually tighter) frame-completion deadline.
+                sawFirstByte = true;
+                deadline = deadlineFrom(Clock::now(), t.frameMs);
+            }
+            got += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return (eofAtStart && got == 0 && !sawFirstByte)
+                ? FrameStatus::Eof
+                : FrameStatus::Error;
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            return FrameStatus::Error;
+        if (!pollUntil(fd, POLLIN, deadline))
+            return FrameStatus::Timeout;
+    }
+    return FrameStatus::Ok;
+}
+
+} // namespace
+
+FrameStatus
+readFrameDeadline(int fd, std::string &out, size_t maxBytes,
+                  const FrameTimeouts &t)
+{
+    bool sawFirstByte = false;
+    auto deadline = deadlineFrom(Clock::now(), t.idleMs);
+
+    uint8_t lenBuf[4];
+    const FrameStatus hdr = recvExact(fd, lenBuf, sizeof lenBuf, true,
+                                      deadline, t, sawFirstByte);
+    if (hdr != FrameStatus::Ok)
+        return hdr;
+    const uint32_t len = static_cast<uint32_t>(lenBuf[0])
+        | static_cast<uint32_t>(lenBuf[1]) << 8
+        | static_cast<uint32_t>(lenBuf[2]) << 16
+        | static_cast<uint32_t>(lenBuf[3]) << 24;
+    if (len == 0 || len > maxBytes)
+        return FrameStatus::TooBig;
+    out.resize(len);
+    return recvExact(fd, reinterpret_cast<uint8_t *>(out.data()), len,
+                     false, deadline, t, sawFirstByte);
+}
+
+bool
+writeFrameDeadline(int fd, std::string_view payload, uint64_t timeoutMs)
+{
+    if (payload.empty() || payload.size() > UINT32_MAX)
+        return false;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::string buf;
+    buf.reserve(4 + payload.size());
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>(len >> (8 * i)));
+    buf.append(payload);
+
+    const auto deadline = deadlineFrom(Clock::now(), timeoutMs);
+    size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n =
+            ::send(fd, buf.data() + off, buf.size() - off,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+            return false;
+        if (!pollUntil(fd, POLLOUT, deadline)) {
+            // Distinguishable from a peer error for the caller's
+            // accounting (pollUntil(false) always means deadline).
+            errno = ETIMEDOUT;
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+connectClient(const std::string &socketPath, uint16_t port,
+              std::string &err)
+{
+    int fd = -1;
+    if (!socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (socketPath.size() >= sizeof addr.sun_path) {
+            err = "socket path too long: " + socketPath;
+            return -1;
+        }
+        std::strncpy(addr.sun_path, socketPath.c_str(),
+                     sizeof addr.sun_path - 1);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0
+            && ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr)
+                != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    } else {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd >= 0
+            && ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr)
+                != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    if (fd < 0)
+        err = std::string("connect: ") + std::strerror(errno);
+    return fd;
 }
 
 } // namespace tbstc::serve

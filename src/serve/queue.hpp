@@ -46,7 +46,24 @@ class BoundedQueue
     {
     }
 
-    size_t capacity() const { return capacity_; }
+    size_t
+    capacity() const
+    {
+        const std::lock_guard lk(m_);
+        return capacity_;
+    }
+
+    /**
+     * Hot-reload the back-pressure threshold. Shrinking below the
+     * current depth is allowed: queued items still drain, and pushes
+     * are refused until the depth falls under the new capacity.
+     */
+    void
+    setCapacity(size_t capacity)
+    {
+        const std::lock_guard lk(m_);
+        capacity_ = capacity > 0 ? capacity : 1;
+    }
 
     /** Enqueue @p item unless full or closed. Never blocks. */
     PushResult
@@ -110,7 +127,7 @@ class BoundedQueue
     }
 
   private:
-    const size_t capacity_;
+    size_t capacity_; ///< Guarded by m_ (hot-reloadable).
     mutable std::mutex m_;
     std::condition_variable cv_;
     std::deque<T> items_;

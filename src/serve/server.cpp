@@ -33,7 +33,18 @@ struct ExecResult
     std::string payload; ///< Result JSON, or the error message.
 };
 
+/** Growth factor cap for the busy retry hint (base * up to 32). */
+constexpr uint64_t kMaxBusyHintMultiplier = 32;
+
 } // namespace
+
+Conn::Conn(int fd, std::shared_ptr<const ServeLimits> limits,
+           std::atomic<uint64_t> *writeTimeouts)
+    : fd_(fd), limits_(std::move(limits)),
+      writeTimeouts_(writeTimeouts), tokens_(limits_->rateBurst),
+      lastRefill_(std::chrono::steady_clock::now())
+{
+}
 
 Conn::~Conn()
 {
@@ -45,7 +56,16 @@ bool
 Conn::send(std::string_view payload)
 {
     const std::lock_guard lk(writeMutex_);
-    return writeFrame(fd_, payload);
+    errno = 0;
+    if (writeFrameDeadline(fd_, payload, limits_->writeTimeoutMs))
+        return true;
+    if (errno == ETIMEDOUT && writeTimeouts_ != nullptr)
+        writeTimeouts_->fetch_add(1, std::memory_order_relaxed);
+    // A peer that cannot be written to cannot be served: shut the
+    // socket down so the reader reaps the connection instead of
+    // parsing more frames it can never answer.
+    ::shutdown(fd_, SHUT_RDWR);
+    return false;
 }
 
 void
@@ -54,8 +74,42 @@ Conn::shutdownBoth()
     ::shutdown(fd_, SHUT_RDWR);
 }
 
+bool
+Conn::tryTakeToken(uint64_t &retryMs)
+{
+    const double rate = limits_->ratePerSec;
+    if (rate <= 0.0)
+        return true;
+    const double burst = std::max(limits_->rateBurst, 1.0);
+    const std::lock_guard lk(rateMutex_);
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - lastRefill_).count();
+    lastRefill_ = now;
+    tokens_ = std::min(burst, tokens_ + elapsed * rate);
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    retryMs =
+        static_cast<uint64_t>((1.0 - tokens_) / rate * 1000.0) + 1;
+    return false;
+}
+
+void
+Conn::refundToken()
+{
+    if (limits_->ratePerSec <= 0.0)
+        return;
+    const double burst = std::max(limits_->rateBurst, 1.0);
+    const std::lock_guard lk(rateMutex_);
+    tokens_ = std::min(burst, tokens_ + 1.0);
+}
+
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), queue_(opts_.queueCapacity)
+    : opts_(std::move(opts)),
+      limits_(std::make_shared<const ServeLimits>(opts_.limits)),
+      queue_(opts_.limits.queueCapacity)
 {
 }
 
@@ -147,8 +201,27 @@ Server::acceptLoop()
                 continue;
             break;
         }
+        auto limits = limitsSnapshot();
+        if (limits->maxConnections > 0
+            && liveConns_.load(std::memory_order_relaxed)
+                >= limits->maxConnections) {
+            // Shed at accept: one typed error frame, then close. The
+            // frame is far smaller than a socket buffer, so the
+            // deadline write cannot stall the accept thread.
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            (void)writeFrameDeadline(
+                fd,
+                errorResponse(0, ErrorKind::Overloaded,
+                              "connection limit reached; retry",
+                              limits->retryAfterMs),
+                limits->writeTimeoutMs);
+            ::close(fd);
+            continue;
+        }
         connections_.fetch_add(1, std::memory_order_relaxed);
-        auto conn = std::make_shared<Conn>(fd);
+        liveConns_.fetch_add(1, std::memory_order_relaxed);
+        auto conn =
+            std::make_shared<Conn>(fd, std::move(limits), &timeouts_);
         ReaderSlot slot;
         auto done = slot.done;
         slot.thread = std::thread(
@@ -177,12 +250,21 @@ void
 Server::readerLoop(std::shared_ptr<Conn> conn,
                    std::shared_ptr<std::atomic<bool>> done)
 {
+    const ServeLimits &lim = conn->limits();
+    const FrameTimeouts timeouts{lim.idleTimeoutMs, lim.readTimeoutMs};
     std::string buf;
     for (;;) {
-        const FrameStatus st =
-            readFrame(conn->fd(), buf, opts_.maxFrameBytes);
+        const FrameStatus st = readFrameDeadline(
+            conn->fd(), buf, opts_.maxFrameBytes, timeouts);
         if (st == FrameStatus::Eof || st == FrameStatus::Error)
             break;
+        if (st == FrameStatus::Timeout) {
+            // Half-open, idle, or slow-loris peer: reap it. No
+            // farewell frame — a peer that stopped sending mid-frame
+            // has desynchronized framing anyway.
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
         if (st == FrameStatus::TooBig) {
             badFrames_.fetch_add(1, std::memory_order_relaxed);
             conn->send(errorResponse(
@@ -200,32 +282,88 @@ Server::readerLoop(std::shared_ptr<Conn> conn,
         }
         Request req = std::move(*parsed);
         if (req.op == Op::Ping) {
+            // Pings stay outside the fairness gates: health probes
+            // must work even on a rate-limited connection.
             pings_.fetch_add(1, std::memory_order_relaxed);
             conn->send(okResponse(req.id, "{\"pong\": true}"));
             continue;
         }
+        const uint64_t id = req.id;
+
+        // Per-client fairness gates, checked before the shared queue
+        // so one greedy connection answers for its own appetite
+        // instead of starving everyone through busy rejections.
+        uint64_t retryMs = lim.retryAfterMs;
+        if (!conn->tryTakeToken(retryMs)) {
+            rateLimited_.fetch_add(1, std::memory_order_relaxed);
+            conn->send(errorResponse(id, ErrorKind::RateLimited,
+                                     "per-client rate limit; retry",
+                                     retryMs));
+            continue;
+        }
+        if (lim.maxInflight > 0
+            && conn->inflight() >= lim.maxInflight) {
+            conn->refundToken();
+            rateLimited_.fetch_add(1, std::memory_order_relaxed);
+            conn->send(errorResponse(
+                id, ErrorKind::RateLimited,
+                "per-client in-flight cap reached; retry",
+                lim.retryAfterMs));
+            continue;
+        }
+
         PendingRequest pending;
         pending.conn = conn;
-        const uint64_t id = req.id;
         pending.req = std::move(req);
         pending.enqueued = std::chrono::steady_clock::now();
+        if (pending.req.deadlineMs > 0) {
+            pending.hasDeadline = true;
+            pending.deadline = pending.enqueued
+                + std::chrono::milliseconds(pending.req.deadlineMs);
+        }
+        conn->addInflight();
+        // Count the acceptance before publishing the request: the
+        // batcher may pop and answer it (a stats snapshot, say)
+        // before a post-push increment would land. Rejections undo.
+        acceptedReqs_.fetch_add(1, std::memory_order_relaxed);
         switch (queue_.tryPush(std::move(pending))) {
           case PushResult::Ok:
-            acceptedReqs_.fetch_add(1, std::memory_order_relaxed);
+            busyStreak_.store(0, std::memory_order_relaxed);
             break;
-          case PushResult::Full:
+          case PushResult::Full: {
+            acceptedReqs_.fetch_sub(1, std::memory_order_relaxed);
+            conn->subInflight();
+            conn->refundToken();
             busyRejected_.fetch_add(1, std::memory_order_relaxed);
+            // Hint grows with sustained pressure: the first rejection
+            // advertises the base, each consecutive one backs clients
+            // off further (capped so hints stay finite).
+            const uint64_t streak =
+                busyStreak_.fetch_add(1, std::memory_order_relaxed);
+            const uint64_t mult = 1
+                + std::min<uint64_t>(streak,
+                                     kMaxBusyHintMultiplier - 1);
             conn->send(errorResponse(id, ErrorKind::Busy,
                                      "request queue full; retry",
-                                     opts_.retryAfterMs));
+                                     lim.retryAfterMs * mult));
             break;
+          }
           case PushResult::Closed:
+            acceptedReqs_.fetch_sub(1, std::memory_order_relaxed);
+            conn->subInflight();
+            conn->refundToken();
             drainRejected_.fetch_add(1, std::memory_order_relaxed);
             conn->send(errorResponse(id, ErrorKind::ShuttingDown,
                                      "server is draining"));
             break;
         }
     }
+    // Shut the socket down now so the peer sees FIN immediately; the
+    // fd itself closes when the last in-flight answer releases the
+    // Conn. Without this, a reaped half-open client would keep an
+    // ESTABLISHED socket until the next accept prunes the list.
+    conn->shutdownBoth();
+    liveConns_.fetch_sub(1, std::memory_order_relaxed);
     done->store(true, std::memory_order_release);
 }
 
@@ -266,31 +404,45 @@ Server::executeBatch(std::vector<PendingRequest> &batch)
         reqCounter.add(batch.size());
     }
 
-    // Stats requests are answered here, between executions, where the
-    // export is quiescent by construction.
+    // First pass: requests whose deadline expired while queued are
+    // answered without executing (the client has given up; running
+    // the work would only steal pool time from live requests), and
+    // stats requests are answered here, between executions, where the
+    // obs export is quiescent by construction.
+    const auto entryNow = std::chrono::steady_clock::now();
     std::vector<size_t> execIdx;
     execIdx.reserve(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
-        if (batch[i].req.op == Op::Stats) {
-            batch[i].conn->send(
-                okResponse(batch[i].req.id, statsJson()));
+        const PendingRequest &p = batch[i];
+        if (p.hasDeadline && entryNow >= p.deadline) {
+            deadlineExceeded_.fetch_add(1, std::memory_order_relaxed);
+            p.conn->send(errorResponse(
+                p.req.id, ErrorKind::DeadlineExceeded,
+                "deadline_ms expired before execution"));
             answered_.fetch_add(1, std::memory_order_relaxed);
+            p.conn->subInflight();
+        } else if (p.req.op == Op::Stats) {
+            p.conn->send(okResponse(p.req.id, statsJson()));
+            answered_.fetch_add(1, std::memory_order_relaxed);
+            p.conn->subInflight();
         } else {
             execIdx.push_back(i);
         }
     }
 
     // Coalesce identical requests: one execution per distinct
-    // signature (the request serialized with its id zeroed), fanned
-    // out to every duplicate. Signatures keep first-appearance order,
-    // so the parallel region's chunk layout is deterministic for a
-    // given batch.
+    // signature (the request serialized with id and deadline zeroed —
+    // the same work coalesces no matter what budget each duplicate
+    // declared), fanned out to every duplicate. Signatures keep
+    // first-appearance order, so the parallel region's chunk layout
+    // is deterministic for a given batch.
     std::vector<std::string> sigs;
     std::vector<size_t> groupOf(execIdx.size());
     std::map<std::string, size_t> groupBySig;
     for (size_t k = 0; k < execIdx.size(); ++k) {
         Request keyReq = batch[execIdx[k]].req;
         keyReq.id = 0;
+        keyReq.deadlineMs = 0;
         std::string sig = serializeRequest(keyReq);
         const auto [it, inserted] =
             groupBySig.try_emplace(std::move(sig), sigs.size());
@@ -339,6 +491,7 @@ Server::executeBatch(std::vector<PendingRequest> &batch)
             p.conn->send(errorResponse(p.req.id, ErrorKind::Internal,
                                        r.payload));
         answered_.fetch_add(1, std::memory_order_relaxed);
+        p.conn->subInflight();
         if (obs::metricsEnabled()) {
             const double ms =
                 std::chrono::duration<double, std::milli>(
@@ -356,6 +509,8 @@ Server::statsJson() const
     std::string out = "{\"schema\": \"tbstc.serve.stats.v1\", ";
     out += "\"server\": {";
     out += "\"connections\": " + std::to_string(c.connections);
+    out += ", \"live_connections\": "
+        + std::to_string(liveConns_.load(std::memory_order_relaxed));
     out += ", \"accepted\": " + std::to_string(c.accepted);
     out += ", \"pings\": " + std::to_string(c.pings);
     out += ", \"busy_rejected\": " + std::to_string(c.busyRejected);
@@ -365,12 +520,19 @@ Server::statsJson() const
     out += ", \"answered\": " + std::to_string(c.answered);
     out += ", \"dedup_hits\": " + std::to_string(c.dedupHits);
     out += ", \"batches\": " + std::to_string(c.batches);
+    out += ", \"timeouts\": " + std::to_string(c.timeouts);
+    out += ", \"shed\": " + std::to_string(c.shed);
+    out += ", \"rate_limited\": " + std::to_string(c.rateLimited);
+    out += ", \"deadline_exceeded\": "
+        + std::to_string(c.deadlineExceeded);
+    out += ", \"reloads\": " + std::to_string(c.reloads);
     out += ", \"queue_depth\": " + std::to_string(queue_.depth());
     out += ", \"queue_capacity\": " + std::to_string(queue_.capacity());
     out += std::string(", \"draining\": ")
         + (draining_.load(std::memory_order_relaxed) ? "true"
                                                      : "false");
-    out += "}, \"metrics\": " + obs::metricsJson(true) + "}";
+    out += "}, \"limits\": " + limitsJson(*limitsSnapshot());
+    out += ", \"metrics\": " + obs::metricsJson(true) + "}";
     return out;
 }
 
@@ -388,7 +550,41 @@ Server::counters() const
     c.answered = answered_.load(std::memory_order_relaxed);
     c.dedupHits = dedupHits_.load(std::memory_order_relaxed);
     c.batches = batches_.load(std::memory_order_relaxed);
+    c.timeouts = timeouts_.load(std::memory_order_relaxed);
+    c.shed = shed_.load(std::memory_order_relaxed);
+    c.rateLimited = rateLimited_.load(std::memory_order_relaxed);
+    c.deadlineExceeded =
+        deadlineExceeded_.load(std::memory_order_relaxed);
+    c.reloads = reloads_.load(std::memory_order_relaxed);
     return c;
+}
+
+void
+Server::reloadLimits(const ServeLimits &limits)
+{
+    auto next = std::make_shared<const ServeLimits>(limits);
+    {
+        const std::lock_guard lk(limitsMutex_);
+        limits_ = std::move(next);
+    }
+    // The queue is shared (not per-connection), so its threshold
+    // changes immediately; in-flight items above a shrunken capacity
+    // still drain normally.
+    queue_.setCapacity(limits.queueCapacity);
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServeLimits
+Server::currentLimits() const
+{
+    return *limitsSnapshot();
+}
+
+std::shared_ptr<const ServeLimits>
+Server::limitsSnapshot() const
+{
+    const std::lock_guard lk(limitsMutex_);
+    return limits_;
 }
 
 void
@@ -417,7 +613,7 @@ Server::wait()
         batcherThread_.join();
 
     // Everything accepted has been answered. Unblock readers still
-    // parked in readFrame and join them.
+    // parked in readFrameDeadline and join them.
     std::vector<std::shared_ptr<Conn>> conns;
     std::vector<ReaderSlot> readers;
     {
@@ -458,6 +654,13 @@ Server::wait()
             .add(c.badRequests);
         obs::counter("serve.answered", obs::Domain::Host)
             .add(c.answered);
+        obs::counter("serve.timeouts", obs::Domain::Host)
+            .add(c.timeouts);
+        obs::counter("serve.shed", obs::Domain::Host).add(c.shed);
+        obs::counter("serve.ratelimited", obs::Domain::Host)
+            .add(c.rateLimited);
+        obs::counter("serve.deadline_exceeded", obs::Domain::Host)
+            .add(c.deadlineExceeded);
     }
     util::drainPool();
     if (!opts_.metricsPath.empty())

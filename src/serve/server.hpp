@@ -31,6 +31,21 @@
  * the queue (new frames answered "shutting_down"), let the batcher
  * answer everything already accepted, then unblock readers and join.
  * Every accepted request is answered before wait() returns.
+ *
+ * Fault tolerance (see docs/serving.md "Operational limits & failure
+ * modes"): every reader read is poll-based with an idle and a
+ * per-frame deadline, so half-open and slow-loris clients are reaped
+ * instead of pinning a thread; response writes carry a deadline too.
+ * Accepts beyond the live-connection cap are shed with a typed
+ * `overloaded` error. Each connection owns a token bucket and an
+ * in-flight cap (per-client fairness: one greedy client is rate
+ * limited before it can starve the shared queue), busy hints scale
+ * with overload pressure, and requests carrying `deadline_ms` that
+ * expire while queued are answered `deadline_exceeded` instead of
+ * executing. All of these limits live in a ServeLimits snapshot that
+ * reloadLimits() (SIGHUP in the CLI) swaps atomically: connections
+ * already accepted finish under the limits they were admitted with,
+ * new accepts see the new ones.
  */
 
 #ifndef TBSTC_SERVE_SERVER_HPP
@@ -47,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "config.hpp"
 #include "protocol.hpp"
 #include "queue.hpp"
 #include "util/result.hpp"
@@ -62,20 +78,20 @@ struct ServerOptions
     /** TCP port (0 = ephemeral, read back via Server::port()). */
     uint16_t tcpPort = 0;
 
-    /** Queue capacity = back-pressure threshold (full → busy). */
-    size_t queueCapacity = 256;
-
     /** Max requests coalesced into one batcher execution. */
     size_t maxBatch = 32;
-
-    /** retry_after_ms hint attached to busy rejections. */
-    uint64_t retryAfterMs = 50;
 
     /** Per-frame payload cap for this server's connections. */
     size_t maxFrameBytes = kDefaultMaxFrameBytes;
 
     /** When set, metricsJson(includeHost) is written here at drain. */
     std::string metricsPath;
+
+    /**
+     * Initial operational limits (queue capacity, deadlines, rates,
+     * caps). Hot-reloadable at runtime via Server::reloadLimits().
+     */
+    ServeLimits limits;
 
     /**
      * Test hook: invoked by the batcher with the batch size before
@@ -98,6 +114,11 @@ struct ServerCounters
     uint64_t answered = 0;        ///< Responses written by the batcher.
     uint64_t dedupHits = 0;       ///< Requests answered by a batch twin.
     uint64_t batches = 0;         ///< Batches executed.
+    uint64_t timeouts = 0;        ///< Conns reaped by an I/O deadline.
+    uint64_t shed = 0;            ///< Conns shed at accept (conn cap).
+    uint64_t rateLimited = 0;     ///< Per-client limit rejections.
+    uint64_t deadlineExceeded = 0; ///< Requests expired before exec.
+    uint64_t reloads = 0;         ///< reloadLimits() applications.
 };
 
 /**
@@ -106,26 +127,72 @@ struct ServerCounters
  * writes are serialized by the per-connection mutex. The fd is owned
  * here and closed with the last shared_ptr, so a response to a
  * request that outlived its reader still has a live socket.
+ *
+ * The connection also carries its admission-time ServeLimits snapshot
+ * and the per-client fairness state those limits govern: a token
+ * bucket refilled in real time and a count of in-flight (queued but
+ * unanswered) requests. Both are keyed by connection — the protocol
+ * has no authentication, so the connection *is* the client identity.
  */
 class Conn
 {
   public:
-    explicit Conn(int fd) : fd_(fd) {}
+    Conn(int fd, std::shared_ptr<const ServeLimits> limits,
+         std::atomic<uint64_t> *writeTimeouts);
     ~Conn();
     Conn(const Conn &) = delete;
     Conn &operator=(const Conn &) = delete;
 
     int fd() const { return fd_; }
 
-    /** Write one response frame (mutex-serialized). */
+    /** Limits this connection was admitted under (immutable). */
+    const ServeLimits &limits() const { return *limits_; }
+
+    /**
+     * Write one response frame (mutex-serialized, deadline-bounded by
+     * limits().writeTimeoutMs). A timed-out or failed write shuts the
+     * connection down so the reader stops serving a dead peer.
+     */
     bool send(std::string_view payload);
 
     /** shutdown(2) both directions: wakes a blocked reader. */
     void shutdownBoth();
 
+    /**
+     * Take one token from the rate bucket. True when admitted (or
+     * rate limiting is off); false with the milliseconds until the
+     * next token in @p retryMs otherwise.
+     */
+    bool tryTakeToken(uint64_t &retryMs);
+
+    /** Return a token taken for a request the queue then refused. */
+    void refundToken();
+
+    /** In-flight (queued, unanswered) request accounting. */
+    size_t inflight() const
+    {
+        return inflight_.load(std::memory_order_relaxed);
+    }
+    void addInflight()
+    {
+        inflight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void subInflight()
+    {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
   private:
     int fd_;
     std::mutex writeMutex_;
+    std::shared_ptr<const ServeLimits> limits_;
+    std::atomic<uint64_t> *writeTimeouts_; ///< Server's timeout count.
+
+    std::mutex rateMutex_;
+    double tokens_ = 0.0;
+    std::chrono::steady_clock::time_point lastRefill_;
+
+    std::atomic<size_t> inflight_{0};
 };
 
 /** One queued request: the parsed request plus its reply channel. */
@@ -134,6 +201,10 @@ struct PendingRequest
     std::shared_ptr<Conn> conn;
     Request req;
     std::chrono::steady_clock::time_point enqueued;
+
+    /** Absolute deadline; only meaningful when hasDeadline. */
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
 };
 
 class Server
@@ -174,6 +245,19 @@ class Server
     /** Snapshot of the event counters (safe from any thread). */
     ServerCounters counters() const;
 
+    /**
+     * Hot-reload the operational limits (SIGHUP in the CLI): the
+     * queue capacity changes immediately, every other limit applies
+     * to connections accepted from now on. Connections already in
+     * flight keep the snapshot they were admitted with — work racing
+     * a reload finishes under the old limits. Safe from any thread;
+     * never drops a connection or an accepted request.
+     */
+    void reloadLimits(const ServeLimits &limits);
+
+    /** The limits new connections are currently admitted under. */
+    ServeLimits currentLimits() const;
+
   private:
     void acceptLoop();
     void readerLoop(std::shared_ptr<Conn> conn,
@@ -181,12 +265,17 @@ class Server
     void batcherLoop();
     void executeBatch(std::vector<PendingRequest> &batch);
     std::string statsJson() const;
+    std::shared_ptr<const ServeLimits> limitsSnapshot() const;
 
     ServerOptions opts_;
     int listenFd_ = -1;
     int wakeFds_[2] = {-1, -1}; ///< Self-pipe waking the accept poll.
     uint16_t port_ = 0;
     bool started_ = false;
+
+    /** Limits for new accepts; swapped whole by reloadLimits(). */
+    mutable std::mutex limitsMutex_;
+    std::shared_ptr<const ServeLimits> limits_;
 
     BoundedQueue<PendingRequest> queue_;
     std::atomic<bool> draining_{false};
@@ -206,6 +295,7 @@ class Server
     std::vector<ReaderSlot> readers_;
 
     std::atomic<uint64_t> connections_{0};
+    std::atomic<size_t> liveConns_{0}; ///< Accepted minus reaped.
     std::atomic<uint64_t> acceptedReqs_{0};
     std::atomic<uint64_t> pings_{0};
     std::atomic<uint64_t> busyRejected_{0};
@@ -215,6 +305,18 @@ class Server
     std::atomic<uint64_t> answered_{0};
     std::atomic<uint64_t> dedupHits_{0};
     std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> timeouts_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> rateLimited_{0};
+    std::atomic<uint64_t> deadlineExceeded_{0};
+    std::atomic<uint64_t> reloads_{0};
+
+    /**
+     * Consecutive busy rejections since the queue last accepted a
+     * push: the overload-pressure signal behind the growing
+     * retry_after_ms hint (base * (1 + streak), capped at 32x).
+     */
+    std::atomic<uint64_t> busyStreak_{0};
 };
 
 } // namespace tbstc::serve

@@ -443,7 +443,10 @@ writeAll(const std::string &path, const std::vector<uint8_t> &bytes)
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (f == nullptr)
         util::panic("cannot write '{}'", path);
-    if (std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
+    // bytes.data() may be null when empty (truncate-to-zero faults);
+    // fwrite declares its buffer nonnull, so skip the call entirely.
+    if (!bytes.empty()
+        && std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size())
         util::panic("short write '{}'", path);
     std::fclose(f);
 }

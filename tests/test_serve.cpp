@@ -91,6 +91,70 @@ TEST(ServeJson, QuoteAndParseRoundTrip)
     EXPECT_EQ(doc->get("k").asString(), nasty);
 }
 
+TEST(ServeJson, DepthCapBoundaryIsExact)
+{
+    // The document's root parses at depth 0 and each nesting level
+    // adds one, so kJsonMaxDepth+1 nested arrays are the deepest
+    // accepted document and one more level must fail — cleanly, not
+    // by exhausting the stack.
+    const auto nested = [](size_t n) {
+        std::string s(n, '[');
+        s.append(n, ']');
+        return s;
+    };
+    EXPECT_TRUE(parseJson(nested(kJsonMaxDepth + 1)).ok());
+    const auto over = parseJson(nested(kJsonMaxDepth + 2));
+    ASSERT_FALSE(over.ok());
+    EXPECT_NE(over.error().message.find("deep"), std::string::npos);
+}
+
+TEST(ServeJson, UnterminatedStringsErrorAtEveryCutPoint)
+{
+    // Every prefix of a document that ends inside a string (including
+    // mid-escape and mid-\uXXXX) must error, never read past the end.
+    const std::string doc = R"({"k": "a\\b\u0041c"})";
+    for (size_t cut = 7; cut + 2 < doc.size(); ++cut)
+        EXPECT_FALSE(parseJson(doc.substr(0, cut)).ok())
+            << "prefix length " << cut;
+}
+
+TEST(ServeJson, NonFiniteNumberLiteralsAreRejected)
+{
+    EXPECT_FALSE(parseJson("NaN").ok());
+    EXPECT_FALSE(parseJson("nan").ok());
+    EXPECT_FALSE(parseJson("Infinity").ok());
+    EXPECT_FALSE(parseJson("-Infinity").ok());
+    EXPECT_FALSE(parseJson("{\"x\": 1e999}").ok());
+    EXPECT_FALSE(parseJson("{\"x\": -1e999}").ok());
+    EXPECT_FALSE(parseJson("{\"x\": 0x10}").ok());
+    // The boundary of finite doubles still parses.
+    EXPECT_TRUE(parseJson("{\"x\": 1e308}").ok());
+}
+
+TEST(ServeJson, DuplicateKeysLastValueWins)
+{
+    const auto doc = parseJson(R"({"k": 1, "k": 2, "k": 3})");
+    ASSERT_TRUE(doc.ok());
+    EXPECT_DOUBLE_EQ(doc->get("k").asNumber(), 3.0);
+}
+
+TEST(ServeJson, MultiMegabyteInputsParseOrErrorCleanly)
+{
+    // The parser has no size cap of its own (the wire frame cap is
+    // the daemon's bound); inputs beyond 1 MiB must parse or error
+    // without aborting or overrunning.
+    std::string big = "[";
+    while (big.size() < (2u << 20))
+        big += "\"0123456789abcdef\", ";
+    big += "1]";
+    const auto ok = parseJson(big);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_GT(ok->asArray().size(), 100000u);
+
+    big.pop_back(); // drop the ']': unterminated 2 MiB document
+    EXPECT_FALSE(parseJson(big).ok());
+}
+
 // ------------------------------------------------------------- protocol
 
 TEST(ServeProtocol, RequestRoundTripsThroughSerialization)
@@ -440,9 +504,9 @@ TEST(ServeServer, FullQueueAnswersBusyWithRetryAfter)
     bool release = false;
 
     ServerOptions opts;
-    opts.queueCapacity = 2;
+    opts.limits.queueCapacity = 2;
     opts.maxBatch = 1;
-    opts.retryAfterMs = 77;
+    opts.limits.retryAfterMs = 77;
     opts.batchHook = [&](size_t) {
         std::unique_lock lk(m);
         entered = true;

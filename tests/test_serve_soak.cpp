@@ -37,7 +37,7 @@ using namespace tbstc::serve;
 TEST(ServeSoak, TwoThousandMixedRequestsEightClientsByteIdentical)
 {
     ServerOptions sopts;
-    sopts.queueCapacity = 512;
+    sopts.limits.queueCapacity = 512;
     Server server(sopts);
     const auto started = server.start();
     ASSERT_TRUE(started.ok()) << started.error();
@@ -74,7 +74,7 @@ TEST(ServeSoak, TwoThousandMixedRequestsEightClientsByteIdentical)
 TEST(ServeSoak, DrainUnderLoadAnswersEverythingAccepted)
 {
     ServerOptions sopts;
-    sopts.queueCapacity = 64;
+    sopts.limits.queueCapacity = 64;
     Server server(sopts);
     const auto started = server.start();
     ASSERT_TRUE(started.ok()) << started.error();

@@ -39,6 +39,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -52,7 +53,9 @@
 #include "format/encoding.hpp"
 #include "format/serialize.hpp"
 #include "obs/obs.hpp"
+#include "serve/config.hpp"
 #include "serve/exec.hpp"
+#include "serve/fuzz.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "sim/dram.hpp"
@@ -598,18 +601,28 @@ cmdCpuinfo(int argc, char **argv)
 /**
  * serve: accept run/sparsify/stats requests over a unix or TCP socket
  * until SIGTERM/SIGINT, then drain (answer everything accepted) and
- * exit 0. The listening address is printed to stdout as one
- * machine-parseable line; see docs/serving.md for the protocol.
+ * exit 0. SIGHUP re-reads --config and applies the new limits without
+ * dropping connections. The listening address is printed to stdout as
+ * one machine-parseable line; see docs/serving.md for the protocol.
  */
 int
 cmdServe(int argc, char **argv)
 {
+    const serve::ServeLimits defaults;
     std::string socket;
     uint64_t port = 0;
-    uint64_t queueCap = 256;
+    uint64_t queueCap = defaults.queueCapacity;
     uint64_t maxBatch = 32;
-    uint64_t retryAfterMs = 50;
+    uint64_t retryAfterMs = defaults.retryAfterMs;
+    uint64_t idleTimeoutMs = defaults.idleTimeoutMs;
+    uint64_t readTimeoutMs = defaults.readTimeoutMs;
+    uint64_t writeTimeoutMs = defaults.writeTimeoutMs;
+    uint64_t maxConns = defaults.maxConnections;
+    double rate = defaults.ratePerSec;
+    double burst = defaults.rateBurst;
+    uint64_t maxInflight = defaults.maxInflight;
     uint64_t threads = 0;
+    std::string configPath;
     std::string metricsPath;
     std::string profileCache;
     bool noCache = false;
@@ -628,7 +641,32 @@ cmdServe(int argc, char **argv)
         .option("max-batch", &maxBatch, "N",
                 "max requests coalesced per execution (default 32)")
         .option("retry-after-ms", &retryAfterMs, "MS",
-                "retry hint attached to busy rejections (default 50)")
+                "base retry hint on busy rejections (default 50; "
+                "grows with sustained overload)")
+        .option("idle-timeout-ms", &idleTimeoutMs, "MS",
+                "reap a connection idle this long (default 30000; "
+                "0 = never)")
+        .option("read-timeout-ms", &readTimeoutMs, "MS",
+                "a started frame must complete within this window "
+                "(default 10000; 0 = no limit)")
+        .option("write-timeout-ms", &writeTimeoutMs, "MS",
+                "a response write must complete within this window "
+                "(default 10000; 0 = no limit)")
+        .option("max-conns", &maxConns, "N",
+                "live-connection cap; beyond it accepts are shed with "
+                "an 'overloaded' error (default 256; 0 = off)")
+        .option("rate", &rate, "R",
+                "per-connection token-bucket rate in req/s "
+                "(default 0 = off)")
+        .option("burst", &burst, "N",
+                "token-bucket burst size (default 64)")
+        .option("max-inflight", &maxInflight, "N",
+                "per-connection cap on queued-but-unanswered requests "
+                "(default 0 = off)")
+        .option("config", &configPath, "FILE",
+                "limits JSON overriding the flags above (see "
+                "docs/serving.md); re-read and re-applied on SIGHUP "
+                "without dropping connections")
         .option("threads", &threads, "N",
                 "worker threads for request execution")
         .option("metrics", &metricsPath, "FILE",
@@ -644,6 +682,37 @@ cmdServe(int argc, char **argv)
         return rc;
     if (port > 65535)
         fail("--port must be <= 65535");
+
+    serve::ServeLimits limits;
+    limits.queueCapacity = queueCap;
+    limits.retryAfterMs = retryAfterMs;
+    limits.idleTimeoutMs = idleTimeoutMs;
+    limits.readTimeoutMs = readTimeoutMs;
+    limits.writeTimeoutMs = writeTimeoutMs;
+    limits.maxConnections = maxConns;
+    limits.ratePerSec = rate;
+    limits.rateBurst = burst;
+    limits.maxInflight = maxInflight;
+
+    // The config file overrides the flags (at startup and again on
+    // every SIGHUP); fields it omits keep their flag/default values.
+    const auto loadConfig = [&configPath](
+                                const serve::ServeLimits &base)
+        -> util::Result<serve::ServeLimits, std::string> {
+        std::ifstream in(configPath);
+        if (!in)
+            return util::unexpected("cannot read config file: "
+                                    + configPath);
+        std::ostringstream text;
+        text << in.rdbuf();
+        return serve::parseLimits(text.str(), base);
+    };
+    if (!configPath.empty()) {
+        const auto parsed = loadConfig(limits);
+        if (!parsed)
+            fail(parsed.error());
+        limits = *parsed;
+    }
 
     if (!isa.empty()) {
         kernels::Isa level;
@@ -662,22 +731,23 @@ cmdServe(int argc, char **argv)
     // is always on while serving.
     obs::setMetricsEnabled(true);
 
-    // Route SIGTERM/SIGINT to a dedicated sigwait thread: every
-    // thread the server spawns inherits this mask, so the drain is
-    // always initiated from a normal thread context, never a handler.
+    // Route SIGTERM/SIGINT/SIGHUP to a dedicated sigwait thread:
+    // every thread the server spawns inherits this mask, so drains
+    // and reloads are always initiated from a normal thread context,
+    // never a handler.
     sigset_t sigs;
     sigemptyset(&sigs);
     sigaddset(&sigs, SIGTERM);
     sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGHUP);
     pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
     serve::ServerOptions sopts;
     sopts.socketPath = socket;
     sopts.tcpPort = static_cast<uint16_t>(port);
-    sopts.queueCapacity = queueCap;
     sopts.maxBatch = maxBatch;
-    sopts.retryAfterMs = retryAfterMs;
     sopts.metricsPath = metricsPath;
+    sopts.limits = limits;
     serve::Server server(sopts);
     const auto started = server.start();
     if (!started) {
@@ -693,9 +763,31 @@ cmdServe(int argc, char **argv)
     std::fflush(stdout);
 
     std::thread sigThread([&] {
-        int signo = 0;
-        sigwait(&sigs, &signo);
-        server.beginShutdown();
+        for (;;) {
+            int signo = 0;
+            sigwait(&sigs, &signo);
+            if (signo == SIGHUP) {
+                serve::ServeLimits next = server.currentLimits();
+                if (!configPath.empty()) {
+                    const auto parsed = loadConfig(next);
+                    if (!parsed) {
+                        // Keep serving under the current limits.
+                        std::fprintf(stderr,
+                                     "tbstc serve: reload failed: "
+                                     "%s\n",
+                                     parsed.error().c_str());
+                        continue;
+                    }
+                    next = *parsed;
+                }
+                server.reloadLimits(next);
+                std::fprintf(stderr,
+                             "tbstc serve: limits reloaded\n");
+                continue;
+            }
+            server.beginShutdown();
+            break;
+        }
     });
     server.wait();
     sigThread.join();
@@ -704,12 +796,19 @@ cmdServe(int argc, char **argv)
     std::fprintf(stderr,
                  "tbstc serve: drained — %llu answered, %llu batches, "
                  "%llu dedup hits, %llu busy-rejected, "
-                 "%llu connections\n",
+                 "%llu connections, %llu timeouts, %llu shed, "
+                 "%llu rate-limited, %llu deadline-exceeded, "
+                 "%llu reloads\n",
                  static_cast<unsigned long long>(c.answered),
                  static_cast<unsigned long long>(c.batches),
                  static_cast<unsigned long long>(c.dedupHits),
                  static_cast<unsigned long long>(c.busyRejected),
-                 static_cast<unsigned long long>(c.connections));
+                 static_cast<unsigned long long>(c.connections),
+                 static_cast<unsigned long long>(c.timeouts),
+                 static_cast<unsigned long long>(c.shed),
+                 static_cast<unsigned long long>(c.rateLimited),
+                 static_cast<unsigned long long>(c.deadlineExceeded),
+                 static_cast<unsigned long long>(c.reloads));
     return 0;
 }
 
@@ -726,6 +825,8 @@ cmdLoadgen(int argc, char **argv)
     uint64_t clients = 8;
     uint64_t requests = 200;
     uint64_t seed = 42;
+    uint64_t chaosClients = 0;
+    uint64_t chaosSeed = 1337;
     bool json = false;
     bool verify = false;
     bool printMix = false;
@@ -740,6 +841,11 @@ cmdLoadgen(int argc, char **argv)
         .option("requests", &requests, "N",
                 "total requests across all clients (default 200)")
         .option("seed", &seed, "N", "mix derivation seed (default 42)")
+        .option("chaos", &chaosClients, "N",
+                "hostile clients sending corrupted frames alongside "
+                "the honest load (default 0)")
+        .option("chaos-seed", &chaosSeed, "N",
+                "chaos mutation derivation seed (default 1337)")
         .flag("json", &json,
               "print the tbstc.loadgen.v1 JSON document")
         .flag("verify", &verify,
@@ -767,6 +873,8 @@ cmdLoadgen(int argc, char **argv)
     lopts.totalRequests = requests;
     lopts.seed = seed;
     lopts.verify = verify;
+    lopts.chaosClients = chaosClients;
+    lopts.chaosSeed = chaosSeed;
     const auto stats = serve::runLoadgen(lopts);
     if (!stats) {
         std::fprintf(stderr, "tbstc loadgen: %s\n",
@@ -788,11 +896,79 @@ cmdLoadgen(int argc, char **argv)
             static_cast<unsigned long long>(stats->mismatched),
             stats->reqPerSec, stats->p50Ms, stats->p95Ms, stats->p99Ms,
             stats->elapsedSeconds);
+        if (chaosClients > 0)
+            std::printf("chaos_frames=%llu chaos_probes_ok=%llu\n",
+                        static_cast<unsigned long long>(
+                            stats->chaosFrames),
+                        static_cast<unsigned long long>(
+                            stats->chaosProbesOk));
     }
     return stats->errors == 0 && stats->mismatched == 0
             && stats->ok == stats->sent
         ? 0
         : 1;
+}
+
+/**
+ * fuzz: seeded adversarial corruption against a live daemon's wire
+ * protocol. Exit 0 only when every well-formed probe sent after the
+ * corrupted frames was answered with the clean-connection bytes.
+ */
+int
+cmdFuzz(int argc, char **argv)
+{
+    std::string socket;
+    uint64_t port = 0;
+    uint64_t seed = 1;
+    uint64_t sessions = 125;
+    uint64_t frames = 8;
+    bool json = false;
+    util::FlagSet flags(
+        "fuzz",
+        "Fuzz a serve daemon's wire protocol with seeded corruption.");
+    flags
+        .option("socket", &socket, "PATH", "daemon unix socket")
+        .option("port", &port, "N", "daemon TCP port on 127.0.0.1")
+        .option("seed", &seed, "N",
+                "mutation derivation seed (default 1)")
+        .option("sessions", &sessions, "N",
+                "connections fuzzed (default 125)")
+        .option("frames", &frames, "N",
+                "mutated frames per session (default 8)")
+        .flag("json", &json, "print the tbstc.fuzz.v1 JSON document");
+    if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
+        return rc;
+    if (port > 65535)
+        fail("--port must be <= 65535");
+    if (socket.empty() && port == 0)
+        fail("need --socket or --port");
+
+    serve::FuzzOptions fopts;
+    fopts.socketPath = socket;
+    fopts.port = static_cast<uint16_t>(port);
+    fopts.seed = seed;
+    fopts.sessions = sessions;
+    fopts.framesPerSession = frames;
+    const auto stats = serve::runProtocolFuzz(fopts);
+    if (!stats) {
+        std::fprintf(stderr, "tbstc fuzz: %s\n",
+                     stats.error().c_str());
+        return 1;
+    }
+    if (json) {
+        std::printf("%s\n", serve::fuzzJson(*stats).c_str());
+    } else {
+        std::printf(
+            "sessions=%llu mutated_frames=%llu responses=%llu "
+            "reconnects=%llu probes=%llu probe_mismatches=%llu\n",
+            static_cast<unsigned long long>(stats->sessions),
+            static_cast<unsigned long long>(stats->mutatedFrames),
+            static_cast<unsigned long long>(stats->responses),
+            static_cast<unsigned long long>(stats->reconnects),
+            static_cast<unsigned long long>(stats->probes),
+            static_cast<unsigned long long>(stats->probeMismatches));
+    }
+    return stats->probeMismatches == 0 ? 0 : 1;
 }
 
 int
@@ -814,7 +990,7 @@ cmdHelp(int argc, char **argv)
         // The remaining subcommands print their own help via --help.
         if (topic == "formats" || topic == "fsck" || topic == "area"
             || topic == "cpuinfo" || topic == "serve"
-            || topic == "loadgen") {
+            || topic == "loadgen" || topic == "fuzz") {
             char help_flag[] = "--help";
             char *sub_argv[] = {argv[0], argv[2], help_flag};
             if (topic == "formats")
@@ -827,6 +1003,8 @@ cmdHelp(int argc, char **argv)
                 return cmdServe(3, sub_argv);
             if (topic == "loadgen")
                 return cmdLoadgen(3, sub_argv);
+            if (topic == "fuzz")
+                return cmdFuzz(3, sub_argv);
             return cmdArea(3, sub_argv);
         }
     }
@@ -846,7 +1024,9 @@ cmdHelp(int argc, char **argv)
         "  serve    [--socket PATH | --port N] [--queue N] ...\n"
         "           (daemon; see docs/serving.md)\n"
         "  loadgen  (--socket PATH | --port N) [--clients N]\n"
-        "           [--requests N] [--json] [--verify]\n"
+        "           [--requests N] [--json] [--verify] [--chaos N]\n"
+        "  fuzz     (--socket PATH | --port N) [--seed N]\n"
+        "           [--sessions N] [--frames N]  (protocol fuzzer)\n"
         "  help     [command]\n"
         "\n"
         "accelerators: tc stc vegeta highlight rmstc sgcn tbstc fan\n"
@@ -883,6 +1063,8 @@ dispatch(int argc, char **argv)
             return cmdServe(argc, argv);
         if (cmd == "loadgen")
             return cmdLoadgen(argc, argv);
+        if (cmd == "fuzz")
+            return cmdFuzz(argc, argv);
         if (cmd == "help" || cmd == "--help" || cmd == "-h")
             return cmdHelp(argc, argv);
         fail("unknown command '" + cmd + "'");
