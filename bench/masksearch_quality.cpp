@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Mask-quality vs search-cost study for the pluggable TBS mask-search
+ * strategies (docs/mask_search.md).
+ *
+ * Sweeps the Fig. 13 workload models across the Table I/II sparsity
+ * grid and, for each cell, runs both registered strategies (`greedy`
+ * Algorithm 1 and the `optimal` assignment solver) on the same
+ * synthetic weights. Reported per cell:
+ *
+ *  - per-block dominance: the fraction of M x M blocks whose optimal
+ *    L1 distance to the unstructured mask is <= / < greedy's, each
+ *    distance recomputed here from the masks (not trusted from solver
+ *    stats). The solver's structural guarantee is dominance on 100%
+ *    of blocks; the bench exits non-zero if any cell violates it, so
+ *    the CI smoke doubles as a regression gate.
+ *  - mask quality: usHamming and US agreement per strategy, plus the
+ *    accuracy proxy. Greedy's proxy is workload::proxyAccuracy();
+ *    optimal's scales greedy's structured gap by the measured
+ *    dissimilarity ratio, mirroring how the proxy interpolates
+ *    between patterns (src/workload/accuracy_model.cpp).
+ *  - search cost: wall time per strategy and the optimal solver's
+ *    augmentation count (Kuhn re-routes; 0 means greedy-equivalent
+ *    column pressure).
+ *
+ * A second table places the SlideSparse family on the Fig. 4(b) axis:
+ * US agreement of TS vs TBS vs SS across the sparsity grid.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/mask_search.hpp"
+#include "core/prune.hpp"
+#include "core/sparsify.hpp"
+#include "workload/accuracy_model.hpp"
+#include "workload/models.hpp"
+#include "workload/synth.hpp"
+
+using namespace tbstc;
+using core::Pattern;
+
+namespace {
+
+constexpr size_t kM = 8;
+/** Row cap keeps an LLM layer's probe at bench scale. */
+constexpr uint64_t kMaxRows = 512;
+
+struct StrategyRun
+{
+    core::MaskOutput out;
+    double seconds = 0.0;
+};
+
+StrategyRun
+runStrategy(const core::Matrix &scores, const std::string &strategy,
+            double sparsity)
+{
+    core::MaskRequest req;
+    req.pattern = Pattern::TBS;
+    req.strategy = strategy;
+    req.sparsity = sparsity;
+    req.m = kM;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = core::tryMakeMask(scores, req);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!res)
+        util::panic("mask search failed: {}", res.error().message);
+    return {std::move(*res),
+            std::chrono::duration<double>(t1 - t0).count()};
+}
+
+/** L1 distance of one M x M block of @p mask to the same US block. */
+size_t
+blockDist(const core::Mask &mask, const core::Mask &us, size_t br,
+          size_t bc)
+{
+    size_t d = 0;
+    for (size_t r = 0; r < kM; ++r) {
+        const uint64_t a = mask.rowBits(br * kM + r, bc * kM, kM);
+        const uint64_t b = us.rowBits(br * kM + r, bc * kM, kM);
+        d += static_cast<size_t>(__builtin_popcountll(a ^ b));
+    }
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchReport report(argc, argv, "masksearch_quality");
+
+    struct Probe
+    {
+        workload::ModelId model;
+        uint64_t seq;
+    };
+    // The Fig. 13 workload set; one representative weight layer each.
+    const std::vector<Probe> probes{
+        {workload::ModelId::ResNet50, 0},
+        {workload::ModelId::BertBase, 128},
+        {workload::ModelId::Opt67b, 256},
+    };
+    // The Table I/II sparsity grid.
+    const std::vector<double> sparsities{0.5, 0.625, 0.75, 0.875};
+
+    util::banner("Mask quality: greedy vs optimal TBS search "
+                 "(per-block L1 vs US recomputed from the masks)");
+    util::Table quality({"model", "layer", "s", "blocks", "dom",
+                         "strict", "usHam(g)", "usHam(o)", "agree(g)",
+                         "agree(o)", "acc(g)", "acc(o)"});
+    util::Table cost({"model", "s", "greedy ms", "optimal ms",
+                      "cost ratio", "augments", "improved blocks"});
+    bool dominated_everywhere = true;
+
+    for (const Probe &p : probes) {
+        const auto layers = workload::modelLayers(p.model, p.seq);
+        const workload::GemmShape shape = layers.front();
+        const auto w = workload::synthWeights(shape, 42, kMaxRows);
+        const auto scores = core::magnitudeScores(w);
+        const std::string layer_name =
+            util::formatStr("{}x{}", w.rows(), w.cols());
+
+        for (const double s : sparsities) {
+            const auto greedy =
+                runStrategy(scores, core::kGreedyStrategy, s);
+            const auto opt =
+                runStrategy(scores, core::kOptimalStrategy, s);
+            const auto us = core::usMask(scores, s);
+
+            const size_t brs = w.rows() / kM;
+            const size_t bcs = w.cols() / kM;
+            size_t dominated = 0;
+            size_t strict = 0;
+            for (size_t br = 0; br < brs; ++br) {
+                for (size_t bc = 0; bc < bcs; ++bc) {
+                    const size_t dg =
+                        blockDist(greedy.out.mask, us, br, bc);
+                    const size_t dd =
+                        blockDist(opt.out.mask, us, br, bc);
+                    dominated += dd <= dg;
+                    strict += dd < dg;
+                }
+            }
+            const size_t blocks = brs * bcs;
+            if (dominated != blocks)
+                dominated_everywhere = false;
+
+            const auto total = static_cast<double>(us.size());
+            const double agree_g = 1.0 - greedy.out.usHamming / total;
+            const double agree_o = 1.0 - opt.out.usHamming / total;
+            // Accuracy proxy: greedy is the TBS curve itself; optimal
+            // shrinks greedy's structured gap (vs US) by the measured
+            // dissimilarity ratio, the same interpolation the proxy
+            // uses between patterns.
+            const double acc_us =
+                workload::proxyAccuracy(p.model, Pattern::US, s, kM);
+            const double acc_g =
+                workload::proxyAccuracy(p.model, Pattern::TBS, s, kM);
+            const double dis_g = std::max(1e-9, 1.0 - agree_g);
+            const double acc_o =
+                acc_us - (acc_us - acc_g) * ((1.0 - agree_o) / dis_g);
+
+            quality.addRow(
+                {workload::modelName(p.model), layer_name,
+                 util::fmtDouble(s, 3), std::to_string(blocks),
+                 bench::fmtPct(static_cast<double>(dominated) / blocks),
+                 bench::fmtPct(static_cast<double>(strict) / blocks),
+                 std::to_string(greedy.out.usHamming),
+                 std::to_string(opt.out.usHamming),
+                 bench::fmtPct(agree_g), bench::fmtPct(agree_o),
+                 util::fmtDouble(acc_g, 2), util::fmtDouble(acc_o, 2)});
+            cost.addRow(
+                {workload::modelName(p.model), util::fmtDouble(s, 3),
+                 util::fmtDouble(greedy.seconds * 1e3, 2),
+                 util::fmtDouble(opt.seconds * 1e3, 2),
+                 bench::fmtRatio(opt.seconds
+                                 / std::max(1e-9, greedy.seconds)),
+                 std::to_string(opt.out.stats.augmentations),
+                 std::to_string(opt.out.stats.improvedBlocks)});
+        }
+    }
+    quality.print();
+
+    util::banner("Search cost: wall time per strategy");
+    cost.print();
+
+    util::banner("SlideSparse on the Fig. 4(b) axis: US agreement "
+                 "of TS vs TBS vs SS (256x256 probe, M = 8)");
+    util::Table family({"pattern", "s=0.50", "s=0.625", "s=0.75",
+                        "s=0.875"});
+    for (const Pattern pat : {Pattern::TS, Pattern::TBS, Pattern::SS}) {
+        std::vector<std::string> row{core::patternName(pat)};
+        for (const double s : sparsities)
+            row.push_back(
+                bench::fmtPct(workload::maskSimilarity(pat, s, kM)));
+        family.addRow(row);
+    }
+    family.print();
+
+    report.addTable("mask_quality", quality);
+    report.addTable("search_cost", cost);
+    report.addTable("ss_family_similarity", family);
+
+    if (!dominated_everywhere) {
+        std::fprintf(stderr, "FAIL: optimal lost to greedy on at "
+                             "least one block\n");
+        return 1;
+    }
+    std::printf("\nReading: the optimal solver never loses a block to "
+                "greedy (the dom column\nis structural), buys a "
+                "measurable US-agreement gain at higher sparsity, "
+                "and\ncosts a bounded constant factor in search "
+                "time.\n");
+    return 0;
+}

@@ -1,0 +1,174 @@
+#include "mask_search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "util/fmt.hpp"
+#include "util/logging.hpp"
+
+namespace tbstc::core {
+
+using util::unexpected;
+
+namespace {
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, MaskStrategyFn> fns;
+};
+
+Registry &
+registry()
+{
+    static Registry reg;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        reg.fns[kGreedyStrategy] =
+            [](const Matrix &scores, double sparsity, size_t m,
+               std::span<const uint8_t> candidates, TbsSearchStats *stats) {
+                TbsResult r = tbsMask(scores, sparsity, m, candidates);
+                if (stats != nullptr) {
+                    *stats = {};
+                    stats->blocks = r.meta.blocks.size();
+                }
+                return r;
+            };
+        reg.fns[kOptimalStrategy] =
+            [](const Matrix &scores, double sparsity, size_t m,
+               std::span<const uint8_t> candidates, TbsSearchStats *stats) {
+                return tbsMaskOptimal(scores, sparsity, m, candidates,
+                                      stats);
+            };
+    });
+    return reg;
+}
+
+util::Unexpected<MaskError>
+fail(MaskErrorKind kind, std::string message)
+{
+    return unexpected(MaskError{kind, std::move(message)});
+}
+
+} // namespace
+
+const char *
+maskErrorKindName(MaskErrorKind kind)
+{
+    switch (kind) {
+      case MaskErrorKind::UnknownStrategy: return "unknown_strategy";
+      case MaskErrorKind::BadSparsity:     return "bad_sparsity";
+      case MaskErrorKind::BadBlockSize:    return "bad_block_size";
+      case MaskErrorKind::NotDivisible:    return "not_divisible";
+      case MaskErrorKind::BadCandidates:   return "bad_candidates";
+    }
+    util::panic("unknown MaskErrorKind");
+}
+
+void
+registerMaskStrategy(const std::string &name, MaskStrategyFn fn)
+{
+    util::ensure(!name.empty(), "mask strategy name must be non-empty");
+    util::ensure(static_cast<bool>(fn), "mask strategy fn must be set");
+    Registry &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    reg.fns[name] = std::move(fn);
+}
+
+bool
+isMaskStrategy(const std::string &name)
+{
+    if (name.empty())
+        return true; // The default strategy.
+    Registry &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    return reg.fns.contains(name);
+}
+
+std::vector<std::string>
+maskStrategyNames()
+{
+    Registry &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<std::string> names;
+    names.reserve(reg.fns.size());
+    for (const auto &[name, fn] : reg.fns)
+        names.push_back(name);
+    return names;
+}
+
+util::Result<MaskOutput, MaskError>
+tryMakeMask(const Matrix &scores, const MaskRequest &req)
+{
+    // Look the strategy up front even for non-TBS patterns: a typo'd
+    // strategy must never silently degrade to the default.
+    const std::string &strategy =
+        req.strategy.empty() ? kGreedyStrategy : req.strategy;
+    MaskStrategyFn fn;
+    {
+        Registry &reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mu);
+        const auto it = reg.fns.find(strategy);
+        if (it == reg.fns.end())
+            return fail(MaskErrorKind::UnknownStrategy,
+                        util::formatStr("unknown mask strategy \"{}\"",
+                                        strategy));
+        fn = it->second;
+    }
+
+    if (!(req.sparsity >= 0.0 && req.sparsity <= 1.0))
+        return fail(MaskErrorKind::BadSparsity,
+                    util::formatStr("sparsity {} is outside [0, 1]",
+                                    req.sparsity));
+    if (req.m == 0)
+        return fail(MaskErrorKind::BadBlockSize, "block size m is 0");
+    if (req.pattern == Pattern::SS && (req.m < 4 || req.m % 2 != 0))
+        return fail(
+            MaskErrorKind::BadBlockSize,
+            util::formatStr(
+                "SlideSparse requires an even block size >= 4; got {}",
+                req.m));
+
+    const bool blockwise = req.pattern == Pattern::TBS;
+    if (scores.cols() % req.m != 0
+        || (blockwise && scores.rows() % req.m != 0))
+        return fail(MaskErrorKind::NotDivisible,
+                    util::formatStr(
+                        "matrix {}x{} does not tile by m = {} as {} "
+                        "requires; pad the workload first",
+                        scores.rows(), scores.cols(), req.m,
+                        patternName(req.pattern)));
+
+    std::vector<uint8_t> candidates = req.candidates;
+    if (candidates.empty())
+        candidates = defaultCandidates(req.m);
+    for (const uint8_t c : candidates) {
+        if (c > req.m)
+            return fail(MaskErrorKind::BadCandidates,
+                        util::formatStr(
+                            "candidate N = {} exceeds block size m = {}",
+                            c, req.m));
+    }
+
+    MaskOutput out;
+    if (req.pattern == Pattern::TBS) {
+        TbsResult r =
+            fn(scores, req.sparsity, req.m, candidates, &out.stats);
+        out.mask = std::move(r.mask);
+        out.meta = std::move(r.meta);
+        out.usHamming = r.usHamming;
+        return out;
+    }
+    // Single-generator families: a known strategy is accepted but has
+    // nothing to select. Dense skips the Pattern::Dense sparsity==0
+    // mismatch question entirely: its mask keeps everything.
+    out.mask = patternMask(req.pattern, scores, req.sparsity, req.m,
+                           candidates);
+    out.meta.m = req.m;
+    out.usHamming =
+        out.mask.hamming(usMask(scores, req.sparsity));
+    return out;
+}
+
+} // namespace tbstc::core

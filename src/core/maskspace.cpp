@@ -86,6 +86,21 @@ log2MaskSpaceUs(size_t x, size_t y)
 }
 
 double
+log2MaskSpaceSs(size_t x, size_t y, size_t m)
+{
+    ensure(m >= 4 && m % 2 == 0,
+           "SlideSparse mask-space requires an even M >= 4");
+    const double tiles = static_cast<double>(x) * y / m;
+    // Count in log space via the complement: 2^M tile masks minus the
+    // M+1 over-dense ones. exp2(M) stays exact in double through
+    // M = 52, far past any practical tile width.
+    const double per_tile =
+        std::log2(std::exp2(static_cast<double>(m))
+                  - static_cast<double>(m) - 1.0);
+    return tiles * per_tile;
+}
+
+double
 log2MaskSpace(Pattern p, size_t x, size_t y, size_t m)
 {
     switch (p) {
@@ -94,6 +109,7 @@ log2MaskSpace(Pattern p, size_t x, size_t y, size_t m)
       case Pattern::RSV: return log2MaskSpaceRsv(x, y, m);
       case Pattern::RSH: return log2MaskSpaceRsh(x, y, m);
       case Pattern::TBS: return log2MaskSpaceTbs(x, y, m);
+      case Pattern::SS:  return log2MaskSpaceSs(x, y, m);
       case Pattern::Dense: return 0.0;
     }
     util::panic("unknown Pattern");

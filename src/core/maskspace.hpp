@@ -48,7 +48,17 @@ double log2MaskSpaceTbs(size_t x, size_t y, size_t m);
 /** log2 mask-space of unstructured sparsity: all 2^(X*Y) masks. */
 double log2MaskSpaceUs(size_t x, size_t y);
 
-/** Dispatch over pattern families (US/TS/RSV/RSH/TBS). */
+/**
+ * log2 mask-space of SlideSparse (2N-2):2N with m = 2N: every
+ * m-element tile independently takes any mask with at most m-2 kept
+ * elements, so
+ *   MS_SS = (2^M - M - 1)^(X*Y/M)
+ * (all 2^M tile masks minus the one M-dense and the M masks with M-1
+ * kept).
+ */
+double log2MaskSpaceSs(size_t x, size_t y, size_t m);
+
+/** Dispatch over pattern families (US/TS/RSV/RSH/TBS/SS). */
 double log2MaskSpace(Pattern p, size_t x, size_t y, size_t m);
 
 /**

@@ -14,6 +14,7 @@ patternName(Pattern p)
       case Pattern::RSV:   return "RS-V";
       case Pattern::RSH:   return "RS-H";
       case Pattern::TBS:   return "TBS";
+      case Pattern::SS:    return "SS";
     }
     util::panic("unknown Pattern");
 }

@@ -10,6 +10,9 @@
  *  - RS-H  row-wise hierarchical N:M (HighLight)
  *  - TBS   transposable block-wise N:M (this paper): per M x M block an
  *          independent N *and* an independent sparsity dimension.
+ *  - SS    SlideSparse (2N-2):2N (arxiv 2603.05232): every 2N-element
+ *          row tile keeps at most 2N-2 elements, with a per-tile keep
+ *          count chosen from the full 0..2N-2 ladder.
  */
 
 #ifndef TBSTC_CORE_PATTERN_HPP
@@ -30,6 +33,7 @@ enum class Pattern : uint8_t
     RSV,   ///< Row-wise N:M, per-row N (VEGETA).
     RSH,   ///< Row-wise hierarchical N:M (HighLight).
     TBS,   ///< Transposable block-wise N:M (this paper).
+    SS,    ///< SlideSparse (2N-2):2N row tiles (arxiv 2603.05232).
 };
 
 /** Human-readable pattern name as used in the paper's tables. */

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/mask_search.hpp"
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
 #include "format/serialize.hpp"
@@ -90,6 +91,11 @@ tryParseLayer(const std::string &spec, const std::string &name)
 sim::RunStats
 executeRun(const RunSpec &spec)
 {
+    // The protocol/CLI layers reject unknown strategies up front; this
+    // backstop covers programmatic callers building specs directly.
+    if (!core::isMaskStrategy(spec.strategy))
+        throw std::invalid_argument("unknown mask strategy '"
+                                    + spec.strategy + "'");
     std::optional<sim::ArchConfig> override;
     if (spec.bw) {
         auto cfg = accel::accelConfig(spec.kind);
@@ -107,6 +113,7 @@ executeRun(const RunSpec &spec)
         req.sparsity = spec.sparsity;
         req.seed = spec.seed;
         req.int8Weights = spec.int8Weights;
+        req.maskStrategy = spec.strategy;
         req.configOverride = override;
         return accel::runLayer(spec.kind, req);
     }
@@ -118,7 +125,8 @@ executeRun(const RunSpec &spec)
     if (spec.full) {
         // Full inference pass: weight GEMMs + dense attention GEMMs.
         return accel::runInference(spec.kind, *model, spec.sparsity,
-                                   spec.seq, spec.int8Weights, spec.seed);
+                                   spec.seq, spec.int8Weights, spec.seed,
+                                   spec.strategy);
     }
     if (override) {
         sim::RunStats total;
@@ -129,13 +137,14 @@ executeRun(const RunSpec &spec)
             req.sparsity = spec.sparsity;
             req.seed = spec.seed;
             req.int8Weights = spec.int8Weights;
+            req.maskStrategy = spec.strategy;
             req.configOverride = override;
             total.accumulate(accel::runLayer(spec.kind, req));
         }
         return total;
     }
     return accel::runModel(spec.kind, *model, spec.sparsity, spec.seq,
-                           spec.int8Weights, spec.seed);
+                           spec.int8Weights, spec.seed, spec.strategy);
 }
 
 SparsifyResult
@@ -151,17 +160,23 @@ executeSparsify(const SparsifySpec &spec)
     const auto w =
         workload::synthWeights(*shape, spec.seed, kSparsifyMaxRows);
     const auto scores = core::magnitudeScores(w);
-    const auto tbs =
-        core::tbsMask(scores, spec.sparsity,
-                      static_cast<size_t>(spec.m),
-                      core::defaultCandidates(
-                          static_cast<size_t>(spec.m)));
-    const auto bytes = format::serializeDdc(w, tbs.mask, tbs.meta);
+    // The strategy-aware search; greedy (the empty default) delegates
+    // to core::tbsMask verbatim, so strategy-less requests keep their
+    // historical DDC bytes and CRCs.
+    core::MaskRequest req;
+    req.pattern = core::Pattern::TBS;
+    req.strategy = spec.strategy;
+    req.sparsity = spec.sparsity;
+    req.m = static_cast<size_t>(spec.m);
+    const auto tbs = core::tryMakeMask(scores, req);
+    if (!tbs)
+        throw std::invalid_argument(tbs.error().message);
+    const auto bytes = format::serializeDdc(w, tbs->mask, tbs->meta);
 
     SparsifyResult out;
     out.rows = w.rows();
     out.cols = w.cols();
-    out.nnz = tbs.mask.nnz();
+    out.nnz = tbs->mask.nnz();
     out.ddcBytes = bytes.size();
     out.ddcCrc32 = util::crc32(bytes);
     return out;

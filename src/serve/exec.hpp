@@ -40,6 +40,13 @@ struct RunSpec
     bool int8Weights = false;
     bool full = false;            ///< Include dense attention GEMMs.
     std::optional<double> bw;     ///< Off-chip bandwidth override.
+
+    /**
+     * TBS mask-search strategy (registry name). Empty = default
+     * greedy, which keeps the wire bytes and responses of strategy-
+     * less requests unchanged.
+     */
+    std::string strategy;
 };
 
 /** One sparsify-this request (the `formats` pipeline's front half). */
@@ -49,6 +56,7 @@ struct SparsifySpec
     double sparsity = 0.75;
     uint64_t seed = 42;
     uint64_t m = 8;
+    std::string strategy; ///< Mask-search strategy; empty = greedy.
 };
 
 /** Result of a sparsify execution (summary; values stay server-side). */

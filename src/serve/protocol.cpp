@@ -12,6 +12,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/mask_search.hpp"
+
 namespace tbstc::serve {
 
 namespace {
@@ -119,6 +121,12 @@ parseRequest(std::string_view json)
                 return fail("'bw' must be positive");
             r.bw = bw;
         }
+        if (v.has("strategy")) {
+            r.strategy = v.get("strategy").asString();
+            if (!core::isMaskStrategy(r.strategy))
+                return fail("unknown mask strategy '" + r.strategy
+                            + "'");
+        }
         return req;
     }
     if (op == "sparsify") {
@@ -137,6 +145,12 @@ parseRequest(std::string_view json)
             s.m = *m;
         if (s.m == 0 || s.m > 64)
             return fail("'m' must be in [1, 64]");
+        if (v.has("strategy")) {
+            s.strategy = v.get("strategy").asString();
+            if (!core::isMaskStrategy(s.strategy))
+                return fail("unknown mask strategy '" + s.strategy
+                            + "'");
+        }
         return req;
     }
     if (op.empty())
@@ -174,6 +188,11 @@ serializeRequest(const Request &req)
             out += ", \"full\": true";
         if (r.bw)
             out += ", \"bw\": " + jsonNumber(*r.bw);
+        // Emitted only when set: default (greedy) requests keep their
+        // historical wire bytes, so batcher dedup signatures and the
+        // daemon-vs-one-shot byte-identity gate are unaffected.
+        if (!r.strategy.empty())
+            out += ", \"strategy\": " + jsonQuote(r.strategy);
         break;
       }
       case Op::Sparsify: {
@@ -183,6 +202,8 @@ serializeRequest(const Request &req)
         out += ", \"sparsity\": " + jsonNumber(s.sparsity);
         out += ", \"seed\": " + std::to_string(s.seed);
         out += ", \"m\": " + std::to_string(s.m);
+        if (!s.strategy.empty())
+            out += ", \"strategy\": " + jsonQuote(s.strategy);
         break;
       }
     }

@@ -13,6 +13,7 @@
  * `try*` surface — it never throws or aborts on bad input and carries
  * a structured error describing exactly what went wrong:
  *
+ *   - core::tryMakeMask()          strategy-aware mask search
  *   - format::tryDeserializeDdc()  parse an untrusted DDC byte stream
  *   - format::tryDecodeBlock()     codec-convert an untrusted block
  *   - format::ddcLayout()          locate sections in a DDC stream
@@ -51,8 +52,9 @@
 // Observability: deterministic metrics + event tracing.
 #include "obs/obs.hpp"
 
-// Sparsity core: masks, patterns, pruning.
+// Sparsity core: masks, patterns, pruning, strategy-aware search.
 #include "core/blockstats.hpp"
+#include "core/mask_search.hpp"
 #include "core/maskspace.hpp"
 #include "core/matrix.hpp"
 #include "core/pattern.hpp"

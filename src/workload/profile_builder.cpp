@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/mask_search.hpp"
 #include "core/prune.hpp"
 #include "core/sparsify.hpp"
 #include "obs/obs.hpp"
@@ -60,12 +61,15 @@ uint64_t
 profileCacheKey(const ProfileSpec &spec)
 {
     util::Hasher h;
-    h.str("tbstc.cache.profile.v1");
+    // v2: maskStrategy joined the spec (and the "" default hashes
+    // differently from any named strategy, so v1 keys can never alias).
+    h.str("tbstc.cache.profile.v2");
     h.str(spec.shape.name);
     h.u64(spec.shape.x).u64(spec.shape.y).u64(spec.shape.nb);
     h.u64(static_cast<uint64_t>(spec.pattern));
     h.f64(spec.sparsity);
     h.u64(spec.m);
+    h.str(spec.maskStrategy);
     h.u64(static_cast<uint64_t>(spec.fmt));
     h.u64(spec.densifyIndependent ? 1 : 0);
     h.u64(spec.seed);
@@ -192,11 +196,21 @@ buildLayerProfileUncached(const ProfileSpec &spec)
     Mask mask;
     TbsMeta meta;
     if (spec.pattern == Pattern::TBS) {
-        core::TbsResult res =
-            core::tbsMask(scores, spec.sparsity, m, cand);
-        mask = std::move(res.mask);
-        meta = std::move(res.meta);
+        core::MaskRequest req;
+        req.pattern = Pattern::TBS;
+        req.strategy = spec.maskStrategy;
+        req.sparsity = spec.sparsity;
+        req.m = m;
+        req.candidates = cand;
+        auto res = core::tryMakeMask(scores, req);
+        if (!res)
+            util::fatal("mask search failed: {}", res.error().message);
+        mask = std::move(res->mask);
+        meta = std::move(res->meta);
     } else {
+        if (!core::isMaskStrategy(spec.maskStrategy))
+            util::fatal("unknown mask strategy \"{}\"",
+                        spec.maskStrategy);
         mask = core::patternMask(spec.pattern, scores, spec.sparsity, m,
                                  cand);
         meta = deriveMeta(mask, m);

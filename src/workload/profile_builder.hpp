@@ -13,6 +13,8 @@
 #ifndef TBSTC_WORKLOAD_PROFILE_BUILDER_HPP
 #define TBSTC_WORKLOAD_PROFILE_BUILDER_HPP
 
+#include <string>
+
 #include "core/pattern.hpp"
 #include "format/encoding.hpp"
 #include "models.hpp"
@@ -27,6 +29,15 @@ struct ProfileSpec
     core::Pattern pattern = core::Pattern::TBS;
     double sparsity = 0.5;
     size_t m = 8;
+
+    /**
+     * TBS mask-search strategy (core/mask_search.hpp registry name);
+     * empty = the default ("greedy"). A determining input of the
+     * profile: it feeds the cache key, so a cached greedy profile can
+     * never answer an optimal-strategy request.
+     */
+    std::string maskStrategy;
+
     format::StorageFormat fmt = format::StorageFormat::DDC;
 
     /**

@@ -176,6 +176,35 @@ TEST(ProfileCache, KeySeparatesSpecs)
     EXPECT_FALSE(sameProfile(base, renamed));
 }
 
+TEST(ProfileCache, KeySeparatesMaskStrategies)
+{
+    const StoreGuard guard;
+    ContentStore &store = ContentStore::instance();
+    store.setEnabled(true);
+    store.setDiskDir("");
+    store.clearMemory();
+
+    // The mask-search strategy is a determining input: a spec naming
+    // `optimal` must never be served a profile the greedy default
+    // built (their masks differ, docs/mask_search.md).
+    const auto before = store.stats();
+    const LayerProfile base = buildLayerProfile(testSpec());
+    auto opt = testSpec();
+    opt.maskStrategy = "optimal";
+    const LayerProfile optimal = buildLayerProfile(opt);
+    EXPECT_FALSE(sameProfile(base, optimal));
+    EXPECT_EQ(store.stats().misses, before.misses + 2);
+
+    // The spelled-out default keys separately from the empty string
+    // (the key hashes the raw name) but must rebuild to the same
+    // bits — a conservative split, never a false hit.
+    auto named = testSpec();
+    named.maskStrategy = "greedy";
+    const LayerProfile greedy = buildLayerProfile(named);
+    EXPECT_EQ(store.stats().misses, before.misses + 3);
+    EXPECT_TRUE(sameProfile(base, greedy));
+}
+
 TEST(SimCache, CachedStatsBitIdentical)
 {
     const StoreGuard guard;

@@ -177,6 +177,44 @@ TEST(ServeProtocol, RequestRoundTripsThroughSerialization)
     EXPECT_EQ(parsed->run.seed, 9u);
     ASSERT_TRUE(parsed->run.bw.has_value());
     EXPECT_DOUBLE_EQ(*parsed->run.bw, 100.0);
+    // Strategy-less requests serialize without the field, preserving
+    // the pre-strategy wire bytes (batcher dedup keys on them).
+    EXPECT_EQ(serializeRequest(req).find("strategy"), std::string::npos);
+}
+
+TEST(ServeProtocol, MaskStrategyRoundTripsAndValidates)
+{
+    Request req;
+    req.id = 11;
+    req.op = Op::Run;
+    req.run.layer = "64x64x1";
+    req.run.strategy = "optimal";
+    const auto parsed = parseRequest(serializeRequest(req));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->run.strategy, "optimal");
+
+    Request sp;
+    sp.id = 12;
+    sp.op = Op::Sparsify;
+    sp.sparsify.layer = "64x64x1";
+    sp.sparsify.strategy = "greedy";
+    const auto sparsed = parseRequest(serializeRequest(sp));
+    ASSERT_TRUE(sparsed.ok());
+    EXPECT_EQ(sparsed->sparsify.strategy, "greedy");
+
+    // Unknown strategies are rejected at parse time on both ops, with
+    // the offending name in the diagnostic.
+    const auto bad_run = parseRequest(
+        R"({"id": 3, "op": "run", "accel": "tbstc",
+            "layer": "8x8x1", "strategy": "anneal"})");
+    ASSERT_FALSE(bad_run.ok());
+    EXPECT_EQ(bad_run.error().id, 3u);
+    EXPECT_NE(bad_run.error().message.find("anneal"),
+              std::string::npos);
+    EXPECT_FALSE(parseRequest(
+                     R"({"op": "sparsify", "layer": "8x8x1",
+                         "strategy": "anneal"})")
+                     .ok());
 }
 
 TEST(ServeProtocol, ValidationErrorsCarryTheRequestId)
@@ -422,6 +460,15 @@ TEST(ServeServer, SparsifyPingStatsAndBadRequests)
     EXPECT_EQ(resp.get("kind").asString(), "bad_request");
     EXPECT_DOUBLE_EQ(resp.get("id").asNumber(), 9.0);
 
+    // So does an unknown mask-search strategy, on either op.
+    ASSERT_TRUE(client.sendRaw(
+        R"({"id": 11, "op": "sparsify", "layer": "64x64x1",
+            "strategy": "anneal"})"));
+    resp = client.recv();
+    EXPECT_FALSE(resp.get("ok").asBool(true));
+    EXPECT_EQ(resp.get("kind").asString(), "bad_request");
+    EXPECT_DOUBLE_EQ(resp.get("id").asNumber(), 11.0);
+
     Request again;
     again.id = 10;
     again.op = Op::Ping;
@@ -431,7 +478,7 @@ TEST(ServeServer, SparsifyPingStatsAndBadRequests)
     server.beginShutdown();
     server.wait();
     const ServerCounters c = server.counters();
-    EXPECT_EQ(c.badRequests, 1u);
+    EXPECT_EQ(c.badRequests, 2u);
     EXPECT_EQ(c.pings, 2u);
 }
 

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "core/mask_search.hpp"
 #include "core/prune.hpp"
 #include "kernels/kernels.hpp"
 #include "core/sparsify.hpp"
@@ -107,6 +108,7 @@ struct SimOpts
     std::string model;
     std::string layer;
     double sparsity = 0.5;
+    std::string maskStrategy;
     uint64_t seq = 128;
     uint64_t seed = 42;
     double bw = 0.0;
@@ -131,6 +133,9 @@ struct SimOpts
                     "simulate one GEMM layer instead of a model")
             .option("sparsity", &sparsity, "S",
                     "weight sparsity degree (default 0.5)")
+            .option("mask-strategy", &maskStrategy, "NAME",
+                    "TBS mask-search strategy: greedy optimal "
+                    "(default greedy)")
             .option("seq", &seq, "N",
                     "sequence length for transformers (default 128)")
             .option("bw", &bw, "GB/s", "override off-chip bandwidth")
@@ -250,10 +255,13 @@ runOne(accel::AccelKind kind, const SimOpts &opts, bool bw_set)
     spec.seed = opts.seed;
     spec.int8Weights = opts.int8;
     spec.full = opts.full;
+    spec.strategy = opts.maskStrategy;
     if (bw_set)
         spec.bw = opts.bw;
     // Validate names here so bad input keeps its exit-2 diagnostic
     // instead of surfacing as a caught exception (exit 1).
+    if (!core::isMaskStrategy(spec.strategy))
+        fail("unknown mask strategy '" + spec.strategy + "'");
     if (spec.layer.empty() && spec.model.empty())
         fail("need --model or --layer");
     if (!spec.model.empty() && !serve::tryParseModel(spec.model))
@@ -337,6 +345,7 @@ cmdFormats(int argc, char **argv)
     double sparsity = 0.75;
     uint64_t seed = 42;
     std::string dump;
+    std::string strategy;
     util::FlagSet flags(
         "formats",
         "Storage-format study: bytes, redundancy, bandwidth.");
@@ -346,9 +355,14 @@ cmdFormats(int argc, char **argv)
         .option("sparsity", &sparsity, "S",
                 "weight sparsity degree (default 0.75)")
         .option("seed", &seed, "N", "weight-synthesis seed (default 42)")
+        .option("mask-strategy", &strategy, "NAME",
+                "TBS mask-search strategy: greedy optimal "
+                "(default greedy)")
         .option("dump", &dump, "FILE", "write the DDC byte stream");
     if (const int rc = parseOrReport(flags, argc, argv); rc >= 0)
         return rc;
+    if (!core::isMaskStrategy(strategy))
+        fail("unknown mask strategy '" + strategy + "'");
 
     const auto shape = !layer.empty()
         ? parseLayer(layer)
@@ -356,8 +370,15 @@ cmdFormats(int argc, char **argv)
 
     const auto w = workload::synthWeights(shape, seed, 4096);
     const auto scores = core::magnitudeScores(w);
-    const auto tbs = core::tbsMask(scores, sparsity, 8,
-                                   core::defaultCandidates(8));
+    core::MaskRequest mreq;
+    mreq.pattern = core::Pattern::TBS;
+    mreq.strategy = strategy;
+    mreq.sparsity = sparsity;
+    mreq.m = 8;
+    const auto searched = core::tryMakeMask(scores, mreq);
+    if (!searched)
+        fail(searched.error().message);
+    const core::MaskOutput &tbs = *searched;
     const sim::DramModel dram{sim::ArchConfig{}};
 
     util::Table t({"format", "bytes", "redundancy", "segments",
